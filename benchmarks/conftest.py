@@ -1,0 +1,20 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one figure or table of the paper on a scaled-down
+workload (small job counts, few training iterations) so the whole harness runs
+on a laptop in minutes.  The printed rows/series follow the paper's figures;
+EXPERIMENTS.md records the measured values next to the paper's.
+"""
+
+import sys
+
+
+def pytest_configure(config):
+    # Benchmarks print the reproduced rows/series; make sure they are visible
+    # even when pytest capture is on by flushing stdout at the end of each run.
+    sys.stdout.flush()
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

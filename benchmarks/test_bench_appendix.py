@@ -1,0 +1,131 @@
+"""Benchmarks: appendix experiments — Figures 16, 18, 19, 22, 23 and Table 3."""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.experiments import (
+    figure16_appendix_example,
+    figure18_simulator_fidelity,
+    figure19_expressiveness,
+    figure22_optimality,
+    figure23_incomplete_information,
+    format_scalar_table,
+    table3_scale_generalization,
+)
+
+
+def test_bench_figure16_dependency_aware_example(benchmark):
+    outputs = run_once(benchmark, figure16_appendix_example, epsilon=0.05)
+    print()
+    print(format_scalar_table(
+        "Figure 16 (Appendix A): toy join DAG makespans "
+        "(paper: critical path 28+3e, optimal 20+3e)", outputs))
+    benchmark.extra_info.update({k: round(v, 2) for k, v in outputs.items()})
+    assert outputs["optimal_plan"] < outputs["critical_path"]
+    np.testing.assert_allclose(
+        outputs["critical_path"], outputs["theoretical_critical_path"], rtol=0.05
+    )
+    np.testing.assert_allclose(
+        outputs["optimal_plan"], outputs["theoretical_optimal"], rtol=0.05
+    )
+
+
+def test_bench_figure18_simulator_fidelity(benchmark):
+    errors = run_once(
+        benchmark,
+        figure18_simulator_fidelity,
+        query_ids=(1, 4, 9, 13, 17, 21),
+        size_gb=10.0,
+        num_executors=20,
+        seed=0,
+    )
+    isolated = np.array(list(errors["isolated_relative_error"].values()))
+    shared = np.array(list(errors["shared_relative_error"].values()))
+    print()
+    print("Figure 18 (Appendix D): run-to-run relative error of the simulator")
+    print(f"  isolated jobs: mean {isolated.mean():.1%}, p95 {np.percentile(isolated, 95):.1%} "
+          "(paper: mean <= 5%)")
+    print(f"  shared cluster: mean {shared.mean():.1%}, p95 {np.percentile(shared, 95):.1%} "
+          "(paper: mean <= 9%)")
+    benchmark.extra_info["isolated mean error"] = float(isolated.mean())
+    benchmark.extra_info["shared mean error"] = float(shared.mean())
+    assert isolated.mean() < 0.25
+    assert shared.mean() < 0.5
+
+
+def test_bench_figure19_expressiveness(benchmark):
+    curves = run_once(
+        benchmark,
+        figure19_expressiveness,
+        num_train_graphs=40,
+        num_test_graphs=25,
+        num_iterations=350,
+        seed=0,
+    )
+    print()
+    print("Figure 19 (Appendix E): critical-path identification accuracy over training")
+    for name, accuracies in curves.items():
+        rendered = ", ".join(f"{a:.2f}" for a in accuracies)
+        print(f"  {name}: {rendered}")
+        benchmark.extra_info[f"{name} final accuracy"] = accuracies[-1]
+    assert set(curves) == {"two_level_aggregation", "single_aggregation"}
+
+
+def test_bench_figure22_optimality(benchmark):
+    outputs = run_once(
+        benchmark,
+        figure22_optimality,
+        num_jobs=4,
+        num_executors=12,
+        train_iterations=5,
+        seed=0,
+    )
+    print()
+    print(format_scalar_table(
+        "Figure 22 (Appendix H): Decima vs exhaustive job-ordering search "
+        "(simplified environment)", outputs))
+    benchmark.extra_info.update({k: round(v, 1) for k, v in outputs.items()})
+    # The exhaustive search is the (near-)optimal reference: nothing beats it by much.
+    assert outputs["exhaustive_search"] <= outputs["sjf_cp"] + 1e-6
+    assert outputs["exhaustive_search"] <= outputs["opt_weighted_fair"] + 1e-6
+
+
+def test_bench_figure23_incomplete_information(benchmark):
+    outputs = run_once(
+        benchmark,
+        figure23_incomplete_information,
+        num_jobs=8,
+        num_executors=20,
+        train_iterations=4,
+        seed=0,
+    )
+    print()
+    print(format_scalar_table(
+        "Figure 23 (Appendix J): Decima without task-duration estimates", outputs))
+    benchmark.extra_info.update({k: round(v, 1) for k, v in outputs.items()})
+    assert set(outputs) == {"opt_weighted_fair", "decima", "decima_no_duration"}
+
+
+def test_bench_table3_scale_generalization(benchmark):
+    outputs = run_once(
+        benchmark,
+        table3_scale_generalization,
+        test_num_jobs=10,
+        test_num_executors=20,
+        job_scale_down=5,
+        executor_scale_down=4,
+        mean_interarrival=35.0,
+        train_iterations=3,
+        seed=0,
+    )
+    print()
+    print(format_scalar_table(
+        "Table 3 (Appendix I): generalisation across cluster size / job count "
+        "(paper: within 3-7% of the agent trained on the test setting)", outputs))
+    benchmark.extra_info.update({k: round(v, 1) for k, v in outputs.items()})
+    assert set(outputs) == {
+        "trained_on_test_setting",
+        "trained_with_fewer_jobs",
+        "trained_on_smaller_cluster",
+    }

@@ -1,0 +1,37 @@
+"""Benchmark: Figure 10 — time-series analysis of continuous TPC-H arrivals."""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.experiments import figure10_time_series, format_scalar_table
+
+
+def test_bench_figure10_time_series(benchmark):
+    analysis = run_once(
+        benchmark,
+        figure10_time_series,
+        num_jobs=15,
+        mean_interarrival=35.0,
+        num_executors=20,
+        train_iterations=4,
+        seed=0,
+    )
+    print()
+    jcts = {name: data["average_jct"] for name, data in analysis.items()}
+    print(format_scalar_table("Figure 10: average JCT (time-series run)", jcts))
+    for name, data in analysis.items():
+        concurrency = [count for _, count in data["concurrency"]]
+        executed = sum(data["executed_work"].values())
+        executors = data["executors_per_job"]
+        print(f"{name}: peak concurrent jobs {max(concurrency)}, "
+              f"mean {np.mean(concurrency):.1f}; executed work {executed:.0f} task-s; "
+              f"mean executors/job {np.mean(list(executors.values())):.1f}")
+        benchmark.extra_info[f"{name} peak concurrency"] = max(concurrency)
+        benchmark.extra_info[f"{name} executed work"] = round(executed)
+
+    # Fig. 10c/d shape: both schedulers complete the workload; the comparison
+    # data (JCT vs work scatter and executor counts) is present for both.
+    for data in analysis.values():
+        assert data["jct_vs_work"]
+        assert data["executors_per_job"]

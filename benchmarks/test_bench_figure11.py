@@ -1,0 +1,79 @@
+"""Benchmark: Figure 11 — multi-resource packing (Alibaba-like trace and TPC-H).
+
+The module also feeds Figures 12, 20 and 21 (executor profiles and time
+series), which reuse the same simulation outputs.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.experiments import (
+    figure11_multi_resource,
+    figure12_executor_profile,
+    figure20_multi_resource_timeseries,
+    format_scalar_table,
+)
+
+
+@pytest.fixture(scope="module")
+def alibaba_results():
+    return figure11_multi_resource(
+        workload="alibaba",
+        num_jobs=8,
+        total_executors=16,
+        mean_interarrival=40.0,
+        train_iterations=4,
+        seed=0,
+    )
+
+
+def test_bench_figure11a_industrial_trace(benchmark, alibaba_results):
+    # The heavy lifting happens in the module fixture; time one fresh TPC-H run.
+    tpch_results = run_once(
+        benchmark,
+        figure11_multi_resource,
+        workload="tpch",
+        num_jobs=8,
+        total_executors=16,
+        mean_interarrival=40.0,
+        train_iterations=4,
+        seed=0,
+    )
+    for title, results in (
+        ("Figure 11a: industrial trace (paper: Decima 32% below Graphene*)", alibaba_results),
+        ("Figure 11b: TPC-H workload (paper: Decima 43% below Graphene*)", tpch_results),
+    ):
+        jcts = {name: data["average_jct"] for name, data in results.items()}
+        print()
+        print(format_scalar_table(title, jcts))
+        for name, value in jcts.items():
+            benchmark.extra_info[f"{title.split(':')[0]} {name}"] = round(value, 1)
+        assert all(value > 0 for value in jcts.values())
+
+
+def test_bench_figure12_executor_profile(benchmark, alibaba_results):
+    profile = run_once(benchmark, figure12_executor_profile, alibaba_results)
+    print()
+    print("Figure 12: Decima vs Graphene* profiles")
+    for bin_name, ratio in profile["jct_ratio_by_work_bin"].items():
+        print(f"  JCT ratio (Decima/Graphene*) for jobs with {bin_name}: {ratio:.2f}")
+    print(f"  Large-executor task count on small jobs: Decima "
+          f"{profile['decima_large_executor_tasks']:.0f} vs Graphene* "
+          f"{profile['graphene_large_executor_tasks']:.0f} "
+          f"(ratio {profile['large_executor_usage_ratio']:.2f}; paper: 1.39)")
+    benchmark.extra_info["large_executor_usage_ratio"] = profile["large_executor_usage_ratio"]
+
+
+def test_bench_figure20_21_multi_resource_timeseries(benchmark, alibaba_results):
+    analysis = run_once(benchmark, figure20_multi_resource_timeseries, alibaba_results)
+    print()
+    print("Figure 20/21: multi-resource time series (Appendix G)")
+    for name, data in analysis.items():
+        peak = max((count for _, count in data["concurrency"]), default=0)
+        mean_executors = (
+            sum(data["executors_per_job"].values()) / max(len(data["executors_per_job"]), 1)
+        )
+        print(f"  {name}: peak concurrent jobs {peak}, mean executors per job {mean_executors:.1f}")
+        benchmark.extra_info[f"{name} peak concurrency"] = peak
+    assert "decima" in analysis and "graphene" in analysis

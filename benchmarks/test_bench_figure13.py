@@ -1,0 +1,28 @@
+"""Benchmark: Figure 13 — learned policies under different objectives/environments."""
+
+from conftest import run_once
+
+from repro.experiments import figure13_objectives, format_scalar_table
+
+
+def test_bench_figure13_objectives(benchmark):
+    outputs = run_once(
+        benchmark,
+        figure13_objectives,
+        num_jobs=6,
+        num_executors=12,
+        train_iterations=4,
+        seed=0,
+    )
+    jcts = {name: data["average_jct"] for name, data in outputs.items()}
+    makespans = {name: data["makespan"] for name, data in outputs.items()}
+    print()
+    print(format_scalar_table(
+        "Figure 13: average JCT by objective (paper: 67.3 / 61.4 / 74.5 sec)", jcts))
+    print()
+    print(format_scalar_table(
+        "Figure 13: makespan by objective (paper: 119.6 / 114.3 / 102.1 sec)", makespans))
+    for name in outputs:
+        benchmark.extra_info[f"{name} jct"] = round(jcts[name], 1)
+        benchmark.extra_info[f"{name} makespan"] = round(makespans[name], 1)
+    assert set(outputs) == {"avg_jct", "avg_jct_free_motion", "makespan"}

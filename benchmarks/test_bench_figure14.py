@@ -1,0 +1,39 @@
+"""Benchmark: Figure 14 — contribution of each key idea (ablation study)."""
+
+from conftest import run_once
+
+from repro.experiments import figure14_ablations
+
+
+def test_bench_figure14_ablations(benchmark):
+    output = run_once(
+        benchmark,
+        figure14_ablations,
+        mean_interarrivals=(60.0, 30.0),
+        num_jobs=8,
+        num_executors=20,
+        train_iterations=5,
+        max_time=4000.0,
+        seed=0,
+    )
+    print()
+    print("Figure 14: average JCT by variant and load (interarrival time; smaller = higher load)")
+    loads = sorted({load for row in output.values() for load in row}, reverse=True)
+    header = "variant".ljust(26) + "".join(f"IAT {load:>6.0f}s" for load in loads)
+    print(header)
+    for variant, row in output.items():
+        cells = "".join(f"{row.get(load, float('nan')):>10.1f}" for load in loads)
+        print(variant.ljust(26) + cells)
+        for load, value in row.items():
+            benchmark.extra_info[f"{variant}@{load}"] = round(value, 1)
+
+    # Structural check: every ablation variant was evaluated at every load.
+    for variant in (
+        "decima",
+        "no_graph_embedding",
+        "no_parallelism_control",
+        "no_variance_reduction",
+        "trained_on_batched",
+        "opt_weighted_fair",
+    ):
+        assert set(output[variant]) == set(loads)

@@ -1,0 +1,51 @@
+"""Benchmark: Figure 15 — training behaviour of parallelism encodings and scheduling delay."""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.experiments import figure15a_learning_curves, figure15b_scheduling_delay
+
+
+def test_bench_figure15a_learning_curves(benchmark):
+    curves = run_once(
+        benchmark,
+        figure15a_learning_curves,
+        num_iterations=6,
+        num_jobs=5,
+        num_executors=12,
+        seed=0,
+    )
+    print()
+    print("Figure 15a: total episode reward per training iteration (higher is better)")
+    for name, rewards in curves.items():
+        rendered = ", ".join(f"{reward:.2f}" for reward in rewards)
+        print(f"  {name}: {rendered}")
+        benchmark.extra_info[f"{name} final reward"] = round(rewards[-1], 3)
+    assert set(curves) == {"decima", "limit_one_hot", "no_parallelism_control"}
+    assert all(len(rewards) == 6 for rewards in curves.values())
+
+
+def test_bench_figure15b_scheduling_delay(benchmark):
+    data = run_once(
+        benchmark,
+        figure15b_scheduling_delay,
+        num_jobs=10,
+        mean_interarrival=40.0,
+        num_executors=20,
+        train_iterations=3,
+        seed=0,
+    )
+    delays = np.array(data["scheduling_delays"])
+    intervals = np.array(data["event_intervals"])
+    print()
+    print("Figure 15b: scheduling delay vs. interval between scheduling events")
+    print(f"  decision latency: median {np.median(delays) * 1e3:.1f} ms, "
+          f"p95 {np.percentile(delays, 95) * 1e3:.1f} ms (paper: < 15 ms)")
+    print(f"  event interval:   median {np.median(intervals):.2f} s, "
+          f"p95 {np.percentile(intervals, 95):.2f} s (paper: seconds)")
+    benchmark.extra_info["median delay ms"] = float(np.median(delays) * 1e3)
+    benchmark.extra_info["median interval s"] = float(np.median(intervals))
+
+    # Shape check: decisions are much faster than the time between events.
+    assert np.median(delays) < np.median(intervals)

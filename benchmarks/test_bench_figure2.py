@@ -1,0 +1,26 @@
+"""Benchmark: Figure 2 — job runtime vs. degree of parallelism for TPC-H queries."""
+
+from conftest import run_once
+
+from repro.experiments import figure2_parallelism_curves, format_series
+
+
+def test_bench_figure2_parallelism_curves(benchmark):
+    curves = run_once(benchmark, figure2_parallelism_curves, max_parallelism=100)
+
+    print()
+    print(format_series("Figure 2: runtime vs parallelism", curves))
+    for name, series in curves.items():
+        best_runtime = min(runtime for _, runtime in series)
+        sweet_spot = next(p for p, runtime in series if runtime <= 1.05 * best_runtime)
+        benchmark.extra_info[f"{name} sweet spot"] = sweet_spot
+        print(f"{name}: ~5%-optimal at {sweet_spot} parallel tasks "
+              f"(runtime {best_runtime:.0f}s vs {series[0][1]:.0f}s serial)")
+
+    # Shape check: the small input saturates at lower parallelism than the large one.
+    def sweet(name):
+        series = curves[name]
+        best = min(r for _, r in series)
+        return next(p for p, r in series if r <= 1.05 * best)
+
+    assert sweet("Q9, 2 GB") < sweet("Q9, 100 GB")

@@ -1,0 +1,26 @@
+"""Benchmark: Figure 3 — illustrative 10-job batch, FIFO vs SJF vs fair vs Decima."""
+
+from conftest import run_once
+
+from repro.experiments import figure3_illustrative_example, format_scalar_table
+
+
+def test_bench_figure3_illustrative_example(benchmark):
+    outputs = run_once(
+        benchmark,
+        figure3_illustrative_example,
+        num_jobs=8,
+        num_executors=20,
+        train_iterations=8,
+        seed=0,
+    )
+    jcts = {name: data["average_jct"] for name, data in outputs.items()}
+    print()
+    print(format_scalar_table("Figure 3: average JCT (paper: FIFO 111.4, SJF 81.7, "
+                              "fair 74.9, Decima 61.1 sec)", jcts))
+    for name, value in jcts.items():
+        benchmark.extra_info[name] = round(value, 1)
+
+    # Shape check from §2.3: structured schedulers beat FIFO.
+    assert jcts["fair"] < jcts["fifo"]
+    assert jcts["decima"] < jcts["fifo"]

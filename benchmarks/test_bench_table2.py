@@ -1,0 +1,36 @@
+"""Benchmark: Table 2 — generalisation of Decima across job interarrival times."""
+
+from conftest import run_once
+
+from repro.experiments import table2_generalization
+
+
+def test_bench_table2_generalization(benchmark):
+    rows = run_once(
+        benchmark,
+        table2_generalization,
+        test_interarrival=35.0,
+        anti_skewed_interarrival=70.0,
+        mixed_interarrivals=(30.0, 45.0, 60.0, 70.0),
+        num_jobs=10,
+        num_executors=20,
+        train_iterations=3,
+        num_test_sequences=2,
+        seed=0,
+    )
+    print()
+    print("Table 2: average JCT on the unseen 35 s-interarrival workload "
+          "(paper: 91.2 / 65.4 / 104.8 / 82.3 / 76.6 sec)")
+    for name, stats in rows.items():
+        print(f"  {name:<32} {stats['mean_jct']:8.1f} ± {stats['std_jct']:.1f} sec")
+        benchmark.extra_info[name] = round(stats["mean_jct"], 1)
+
+    expected_rows = {
+        "opt_weighted_fair",
+        "decima_trained_on_test",
+        "decima_anti_skewed",
+        "decima_mixed",
+        "decima_mixed_with_hint",
+    }
+    assert set(rows) == expected_rows
+    assert all(stats["mean_jct"] > 0 for stats in rows.values())

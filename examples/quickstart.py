@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: schedule a batch of TPC-H-like jobs with heuristics and Decima.
+
+This mirrors the illustrative example of §2.3 (Figure 3): ten random TPC-H
+jobs on a cluster with 50 task slots, scheduled by FIFO, SJF-CP, fair sharing
+and a (briefly trained) Decima agent.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import DecimaAgent
+from repro.experiments import (
+    compare_schedulers,
+    format_scalar_table,
+    improvement_over,
+    tpch_batch_factory,
+    train_decima_agent,
+)
+from repro.schedulers import FairScheduler, FIFOScheduler, SJFCPScheduler
+from repro.simulator import SimulatorConfig
+from repro.workloads import batched_arrivals, sample_tpch_jobs
+
+
+def main(num_jobs: int = 10, num_executors: int = 50, train_iterations: int = 5) -> None:
+    rng = np.random.default_rng(0)
+    jobs = batched_arrivals(sample_tpch_jobs(num_jobs, rng))
+    config = SimulatorConfig(num_executors=num_executors, seed=0)
+
+    print(f"Scheduling {num_jobs} TPC-H jobs on {num_executors} executors")
+    print(f"Total work: {sum(job.total_work for job in jobs):.0f} task-seconds\n")
+
+    print(f"Training Decima for {train_iterations} iterations (use more for better policies)...")
+    decima, _ = train_decima_agent(
+        config,
+        tpch_batch_factory(num_jobs),
+        num_iterations=train_iterations,
+        episodes_per_iteration=2,
+        seed=0,
+    )
+
+    schedulers = {
+        "fifo": FIFOScheduler(),
+        "sjf_cp": SJFCPScheduler(),
+        "fair": FairScheduler(),
+        "decima": decima,
+    }
+    results = compare_schedulers(schedulers, jobs, config, seed=0)
+    jcts = {name: result.average_jct for name, result in results.items()}
+    print()
+    print(format_scalar_table("Average job completion time (Figure 3)", jcts))
+    print()
+    print(f"Decima vs FIFO improvement: {improvement_over(jcts, 'decima', 'fifo'):.0%}")
+    print(f"Decima vs fair improvement: {improvement_over(jcts, 'decima', 'fair'):.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""repro — a reproduction of Decima (Mao et al., SIGCOMM 2019).
+
+Decima learns workload-specific scheduling policies for DAG-structured data
+processing jobs with reinforcement learning.  This package contains:
+
+* :mod:`repro.autograd` — a numpy reverse-mode autodiff engine (the substrate
+  that replaces TensorFlow);
+* :mod:`repro.simulator` — the event-driven Spark-like cluster simulator;
+* :mod:`repro.workloads` — TPC-H-like and Alibaba-like workload generators;
+* :mod:`repro.schedulers` — all baseline heuristics from the paper;
+* :mod:`repro.core` — the Decima agent (graph neural network, policy network,
+  REINFORCE training with curriculum and input-dependent baselines);
+* :mod:`repro.experiments` — the harness regenerating every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["autograd", "simulator", "workloads", "schedulers", "core", "experiments"]

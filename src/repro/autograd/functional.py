@@ -1,0 +1,79 @@
+"""Composite differentiable functions built from :mod:`repro.autograd.tensor` ops.
+
+These helpers implement the softmax machinery Decima's policy network needs,
+including *masked* softmaxes over variable-size action sets (Eq. 2 of the
+paper restricts the softmax to the set of schedulable nodes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "masked_softmax",
+    "masked_log_softmax",
+    "entropy_from_log_probs",
+]
+
+_NEG_INF = -1.0e9
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    logits = as_tensor(logits)
+    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    logits = as_tensor(logits)
+    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    log_norm = shifted.exp().sum(axis=axis, keepdims=True).log()
+    return shifted - log_norm
+
+def _masked_logits(logits: Tensor, mask) -> tuple[Tensor, np.ndarray]:
+    logits = as_tensor(logits)
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != logits.shape:
+        raise ValueError(f"mask shape {mask.shape} != logits shape {logits.shape}")
+    if not mask.any():
+        raise ValueError("masked softmax requires at least one valid entry")
+    offset = np.where(mask, 0.0, _NEG_INF)
+    return logits + Tensor(offset), mask
+
+
+def masked_softmax(logits: Tensor, mask, axis: int = -1) -> Tensor:
+    """Softmax restricted to entries where ``mask`` is True.
+
+    Masked-out entries receive probability (numerically) zero, mirroring the
+    restriction of Eq. 2 to the schedulable-node set ``A_t``.
+    """
+    shifted, _ = _masked_logits(logits, mask)
+    return softmax(shifted, axis=axis)
+
+
+def masked_log_softmax(logits: Tensor, mask, axis: int = -1) -> Tensor:
+    """Log of :func:`masked_softmax` (stable; masked entries are ~-1e9)."""
+    shifted, _ = _masked_logits(logits, mask)
+    return log_softmax(shifted, axis=axis)
+
+
+def entropy_from_log_probs(log_probs: Tensor, mask=None) -> Tensor:
+    """Entropy of a categorical distribution given its log-probabilities.
+
+    Used as an exploration bonus during REINFORCE training.  ``mask`` (if
+    given) limits the sum to valid entries so the -1e9 padding of masked
+    softmaxes does not contribute.
+    """
+    log_probs = as_tensor(log_probs)
+    probs = log_probs.exp()
+    contrib = probs * log_probs
+    if mask is not None:
+        contrib = contrib * Tensor(np.asarray(mask, dtype=np.float64))
+    return -contrib.sum()

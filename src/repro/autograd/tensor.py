@@ -1,0 +1,433 @@
+"""A small reverse-mode automatic differentiation engine over numpy arrays.
+
+This module is the substrate that replaces TensorFlow in the original Decima
+implementation.  It provides a :class:`Tensor` wrapper around ``numpy.ndarray``
+that records the operations applied to it and can back-propagate gradients with
+:meth:`Tensor.backward`.
+
+Only the operations needed by Decima's graph neural network and policy network
+are implemented, but each one supports full numpy broadcasting and is verified
+against finite differences in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Tensor", "concat", "stack", "segment_sum", "gather_rows", "as_tensor"]
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Reduce ``grad`` so it matches ``shape`` after a broadcasted operation.
+
+    Numpy broadcasting may expand a tensor along leading axes or along axes of
+    size one; the corresponding gradient must be summed back over those axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over extra leading dimensions.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over broadcast (size-1) dimensions.
+    for axis, dim in enumerate(shape):
+        if dim == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+def as_tensor(value, requires_grad: bool = False) -> "Tensor":
+    """Coerce ``value`` into a :class:`Tensor` (no copy if it already is one)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)
+
+
+class Tensor:
+    """A numpy array with reverse-mode gradient tracking.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``float64``.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad: bool = False, _parents=(), _backward=None):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._parents = tuple(_parents)
+        self._backward = _backward
+
+    # ------------------------------------------------------------------ basic
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying numpy array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tensor(shape={self.data.shape}, requires_grad={self.requires_grad})"
+
+    # ------------------------------------------------------------- autograd
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=np.float64, copy=True)
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Back-propagate from this tensor through the recorded graph.
+
+        ``grad`` defaults to ones (use a scalar tensor for loss values).
+        """
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+
+        # Topological order of the graph ending at ``self``.
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad:
+                node._accumulate(node_grad)
+            if node._backward is None:
+                continue
+            parent_grads = node._backward(node_grad)
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None:
+                    continue
+                if id(parent) in grads:
+                    grads[id(parent)] = grads[id(parent)] + pgrad
+                else:
+                    grads[id(parent)] = pgrad
+
+    @staticmethod
+    def _needs_graph(*tensors: "Tensor") -> bool:
+        return any(t.requires_grad or t._backward is not None for t in tensors)
+
+    # ------------------------------------------------------------ arithmetic
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(grad):
+            return (_unbroadcast(grad, self.shape), _unbroadcast(grad, other.shape))
+
+        if self._needs_graph(self, other):
+            return Tensor(out_data, _parents=(self, other), _backward=backward)
+        return Tensor(out_data)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        out_data = -self.data
+
+        def backward(grad):
+            return (-grad,)
+
+        if self._needs_graph(self):
+            return Tensor(out_data, _parents=(self,), _backward=backward)
+        return Tensor(out_data)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(grad):
+            return (
+                _unbroadcast(grad * other.data, self.shape),
+                _unbroadcast(grad * self.data, other.shape),
+            )
+
+        if self._needs_graph(self, other):
+            return Tensor(out_data, _parents=(self, other), _backward=backward)
+        return Tensor(out_data)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data / other.data
+
+        def backward(grad):
+            return (
+                _unbroadcast(grad / other.data, self.shape),
+                _unbroadcast(-grad * self.data / (other.data ** 2), other.shape),
+            )
+
+        if self._needs_graph(self, other):
+            return Tensor(out_data, _parents=(self, other), _backward=backward)
+        return Tensor(out_data)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data ** exponent
+
+        def backward(grad):
+            return (grad * exponent * self.data ** (exponent - 1),)
+
+        if self._needs_graph(self):
+            return Tensor(out_data, _parents=(self,), _backward=backward)
+        return Tensor(out_data)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data @ other.data
+
+        def backward(grad):
+            grad = np.asarray(grad)
+            grad_self = grad @ other.data.T if other.data.ndim == 2 else np.outer(grad, other.data)
+            grad_other = self.data.T @ grad
+            return (_unbroadcast(grad_self, self.shape), _unbroadcast(grad_other, other.shape))
+
+        if self._needs_graph(self, other):
+            return Tensor(out_data, _parents=(self, other), _backward=backward)
+        return Tensor(out_data)
+
+    # ------------------------------------------------------------ reductions
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            grad = np.asarray(grad)
+            if axis is None:
+                return (np.broadcast_to(grad, self.shape).copy(),)
+            if not keepdims:
+                grad = np.expand_dims(grad, axis=axis)
+            return (np.broadcast_to(grad, self.shape).copy(),)
+
+        if self._needs_graph(self):
+            return Tensor(out_data, _parents=(self,), _backward=backward)
+        return Tensor(out_data)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            count = self.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            grad = np.asarray(grad)
+            if axis is None:
+                mask = (self.data == out_data).astype(np.float64)
+                mask /= mask.sum()
+                return (grad * mask,)
+            expanded = out_data if keepdims else np.expand_dims(out_data, axis=axis)
+            g = grad if keepdims else np.expand_dims(grad, axis=axis)
+            mask = (self.data == expanded).astype(np.float64)
+            mask /= mask.sum(axis=axis, keepdims=True)
+            return (g * mask,)
+
+        if self._needs_graph(self):
+            return Tensor(out_data, _parents=(self,), _backward=backward)
+        return Tensor(out_data)
+
+    # ---------------------------------------------------------- elementwise
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad):
+            return (grad * out_data,)
+
+        if self._needs_graph(self):
+            return Tensor(out_data, _parents=(self,), _backward=backward)
+        return Tensor(out_data)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad):
+            return (grad / self.data,)
+
+        if self._needs_graph(self):
+            return Tensor(out_data, _parents=(self,), _backward=backward)
+        return Tensor(out_data)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad):
+            return (grad * (1.0 - out_data ** 2),)
+
+        if self._needs_graph(self):
+            return Tensor(out_data, _parents=(self,), _backward=backward)
+        return Tensor(out_data)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad):
+            return (grad * out_data * (1.0 - out_data),)
+
+        if self._needs_graph(self):
+            return Tensor(out_data, _parents=(self,), _backward=backward)
+        return Tensor(out_data)
+
+    def relu(self) -> "Tensor":
+        return self.leaky_relu(0.0)
+
+    def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
+        mask = np.where(self.data > 0.0, 1.0, negative_slope)
+        out_data = self.data * mask
+
+        def backward(grad):
+            return (grad * mask,)
+
+        if self._needs_graph(self):
+            return Tensor(out_data, _parents=(self,), _backward=backward)
+        return Tensor(out_data)
+
+    # -------------------------------------------------------------- reshape
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+
+        def backward(grad):
+            return (np.asarray(grad).reshape(self.shape),)
+
+        if self._needs_graph(self):
+            return Tensor(out_data, _parents=(self,), _backward=backward)
+        return Tensor(out_data)
+
+    @property
+    def T(self) -> "Tensor":
+        out_data = self.data.T
+
+        def backward(grad):
+            return (np.asarray(grad).T,)
+
+        if self._needs_graph(self):
+            return Tensor(out_data, _parents=(self,), _backward=backward)
+        return Tensor(out_data)
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad):
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, np.asarray(grad))
+            return (full,)
+
+        if self._needs_graph(self):
+            return Tensor(out_data, _parents=(self,), _backward=backward)
+        return Tensor(out_data)
+
+
+# --------------------------------------------------------------------- joins
+def concat(tensors, axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+
+    def backward(grad):
+        grad = np.asarray(grad)
+        pieces = np.split(grad, np.cumsum(sizes)[:-1], axis=axis)
+        return tuple(pieces)
+
+    if Tensor._needs_graph(*tensors):
+        return Tensor(out_data, _parents=tuple(tensors), _backward=backward)
+    return Tensor(out_data)
+
+
+def stack(tensors, axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` with gradient support."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad):
+        grad = np.asarray(grad)
+        pieces = np.split(grad, len(tensors), axis=axis)
+        return tuple(np.squeeze(p, axis=axis) for p in pieces)
+
+    if Tensor._needs_graph(*tensors):
+        return Tensor(out_data, _parents=tuple(tensors), _backward=backward)
+    return Tensor(out_data)
+
+
+def gather_rows(tensor: Tensor, indices) -> Tensor:
+    """Select rows of a 2-D tensor; equivalent to ``tensor[indices]``."""
+    return as_tensor(tensor)[np.asarray(indices, dtype=np.intp)]
+
+
+def segment_sum(tensor: Tensor, segment_ids, num_segments: int) -> Tensor:
+    """Sum rows of ``tensor`` grouped by ``segment_ids``.
+
+    ``segment_ids`` maps each row to an output segment in
+    ``[0, num_segments)``; rows of the result are the per-segment sums.  This
+    is the aggregation primitive used both for summing child-node messages and
+    for per-job / global summaries in the graph neural network.
+    """
+    tensor = as_tensor(tensor)
+    segment_ids = np.asarray(segment_ids, dtype=np.intp)
+    if segment_ids.shape[0] != tensor.shape[0]:
+        raise ValueError("segment_ids must have one entry per row of tensor")
+    out_shape = (num_segments,) + tensor.shape[1:]
+    out_data = np.zeros(out_shape, dtype=np.float64)
+    np.add.at(out_data, segment_ids, tensor.data)
+
+    def backward(grad):
+        return (np.asarray(grad)[segment_ids],)
+
+    if Tensor._needs_graph(tensor):
+        return Tensor(out_data, _parents=(tensor,), _backward=backward)
+    return Tensor(out_data)

@@ -1,0 +1,55 @@
+"""Decima's core contribution: graph neural network, policy network and RL training."""
+
+from .agent import DecimaAgent, DecimaConfig, StepInfo
+from .checkpoints import load_agent_weights, save_agent
+from .features import FeatureConfig, GraphFeatures, build_graph_features
+from .gnn import GNNConfig, GraphEmbeddings, GraphNeuralNetwork
+from .nn import MLP, Adam, Dense, Module, Parameter
+from .policy import PolicyConfig, PolicyNetwork
+from .reinforce import (
+    IterationStats,
+    ReinforceTrainer,
+    TrainingConfig,
+    TrainingHistory,
+    evaluate_agent,
+    time_aligned_baselines,
+)
+from .rollout import Trajectory, Transition, collect_rollout
+from .supervised import (
+    CriticalPathDataset,
+    CriticalPathRegressor,
+    train_critical_path_regressor,
+)
+
+__all__ = [
+    "DecimaAgent",
+    "DecimaConfig",
+    "StepInfo",
+    "load_agent_weights",
+    "save_agent",
+    "FeatureConfig",
+    "GraphFeatures",
+    "build_graph_features",
+    "GNNConfig",
+    "GraphEmbeddings",
+    "GraphNeuralNetwork",
+    "MLP",
+    "Adam",
+    "Dense",
+    "Module",
+    "Parameter",
+    "PolicyConfig",
+    "PolicyNetwork",
+    "IterationStats",
+    "ReinforceTrainer",
+    "TrainingConfig",
+    "TrainingHistory",
+    "evaluate_agent",
+    "time_aligned_baselines",
+    "Trajectory",
+    "Transition",
+    "collect_rollout",
+    "CriticalPathDataset",
+    "CriticalPathRegressor",
+    "train_critical_path_regressor",
+]

@@ -1,0 +1,225 @@
+"""The Decima scheduling agent: graph neural network + policy network.
+
+The agent implements the :class:`~repro.schedulers.base.Scheduler` interface so
+it can be evaluated in the simulator exactly like the baseline heuristics, and
+exposes :meth:`DecimaAgent.act` which additionally returns the action's
+log-probability and entropy tensors for REINFORCE training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Tensor, entropy_from_log_probs, masked_log_softmax
+from ..schedulers.base import Scheduler
+from ..simulator.environment import Action, Observation
+from ..simulator.jobdag import JobDAG, Node
+from .features import FeatureConfig, GraphFeatures, build_graph_features
+from .gnn import GNNConfig, GraphNeuralNetwork
+from .nn import Module
+from .policy import PolicyConfig, PolicyNetwork
+
+__all__ = ["DecimaConfig", "StepInfo", "DecimaAgent"]
+
+
+@dataclass
+class DecimaConfig:
+    """Hyper-parameters and ablation switches of the Decima agent."""
+
+    feature: FeatureConfig = field(default_factory=FeatureConfig)
+    embedding_dim: int = 8
+    hidden_sizes: tuple[int, ...] = (32, 16)
+    max_message_passing_depth: int = 8
+    # Ablation switches (Fig. 14 / Fig. 15a / Fig. 19).
+    use_graph_embedding: bool = True
+    use_parallelism_control: bool = True
+    two_level_aggregation: bool = True
+    # Multi-resource executor-class head (§7.3).
+    multi_resource: bool = False
+    # Number of discrete parallelism-limit levels; ``None`` uses one level per
+    # executor (the paper's encoding) capped at 64 levels for very large clusters.
+    num_limit_levels: Optional[int] = None
+    # When True (paper default), the limit value is a scalar input to a single
+    # reused score function w(y, z, l).  When False, the limit is one-hot
+    # encoded, which is equivalent to separate score functions per limit — the
+    # variant Fig. 15a shows trains much more slowly.
+    limit_value_input: bool = True
+    seed: int = 0
+    # Evaluation behaviour: greedy arg-max actions (deterministic) or sampled.
+    greedy_evaluation: bool = True
+
+
+@dataclass
+class StepInfo:
+    """Training byproducts of one action."""
+
+    log_prob: Tensor
+    entropy: Tensor
+
+
+class DecimaAgent(Module, Scheduler):
+    """Learned scheduling policy (the paper's primary contribution)."""
+
+    name = "decima"
+
+    def __init__(self, total_executors: int, config: Optional[DecimaConfig] = None):
+        if total_executors <= 0:
+            raise ValueError("total_executors must be positive")
+        self.config = config or DecimaConfig()
+        self.total_executors = int(total_executors)
+        rng = np.random.default_rng(self.config.seed)
+        self.gnn = GraphNeuralNetwork(
+            GNNConfig(
+                num_features=self.config.feature.num_features,
+                embedding_dim=self.config.embedding_dim,
+                hidden_sizes=self.config.hidden_sizes,
+                max_message_passing_depth=self.config.max_message_passing_depth,
+                two_level_aggregation=self.config.two_level_aggregation,
+            ),
+            rng,
+        )
+        self._limit_levels = self._build_limit_levels()
+        limit_input_dim = 1 if self.config.limit_value_input else len(self._limit_levels)
+        self.policy = PolicyNetwork(
+            PolicyConfig(
+                num_features=self.config.feature.num_features,
+                embedding_dim=self.config.embedding_dim,
+                hidden_sizes=self.config.hidden_sizes,
+                use_graph_embedding=self.config.use_graph_embedding,
+                use_executor_class_head=self.config.multi_resource,
+                limit_input_dim=limit_input_dim,
+            ),
+            rng,
+        )
+        self.interarrival_hint: Optional[float] = None
+        self._eval_rng = np.random.default_rng(self.config.seed + 1)
+
+    # ---------------------------------------------------------------- helpers
+    def _build_limit_levels(self) -> np.ndarray:
+        num_levels = self.config.num_limit_levels
+        if num_levels is None:
+            num_levels = min(self.total_executors, 64)
+        num_levels = max(1, min(num_levels, self.total_executors))
+        levels = np.unique(
+            np.round(np.linspace(1, self.total_executors, num_levels)).astype(int)
+        )
+        return levels
+
+    def candidate_limits(self, job: JobDAG) -> np.ndarray:
+        """Parallelism limits the agent may pick for ``job`` right now.
+
+        The paper enforces that the limit exceeds the job's current executor
+        count so every action assigns at least one new executor.
+        """
+        valid = self._limit_levels[self._limit_levels > job.num_active_executors]
+        if valid.size == 0:
+            valid = np.array([job.num_active_executors + 1])
+        return valid
+
+    def _limit_inputs(self, limits: np.ndarray) -> np.ndarray:
+        """Encode candidate limits for the score function w(.) (scalar or one-hot)."""
+        if self.config.limit_value_input:
+            return (limits / self.total_executors).reshape(-1, 1)
+        one_hot = np.zeros((len(limits), len(self._limit_levels)))
+        level_index = {int(level): i for i, level in enumerate(self._limit_levels)}
+        for row, limit in enumerate(limits):
+            one_hot[row, level_index.get(int(limit), len(self._limit_levels) - 1)] = 1.0
+        return one_hot
+
+    # ------------------------------------------------------------- scheduling
+    def reset(self) -> None:
+        self._eval_rng = np.random.default_rng(self.config.seed + 1)
+
+    def schedule(self, observation: Observation) -> Optional[Action]:
+        action, _ = self.act(
+            observation,
+            rng=self._eval_rng,
+            greedy=self.config.greedy_evaluation,
+            training=False,
+        )
+        return action
+
+    def act(
+        self,
+        observation: Observation,
+        rng: Optional[np.random.Generator] = None,
+        greedy: bool = False,
+        training: bool = False,
+    ) -> tuple[Optional[Action], Optional[StepInfo]]:
+        """Pick a (stage, parallelism limit[, executor class]) action.
+
+        When ``training`` is true the returned :class:`StepInfo` carries the
+        log-probability and entropy tensors connected to the parameter graph.
+        """
+        if not observation.schedulable_nodes:
+            return None, None
+        rng = rng or self._eval_rng
+        graph = build_graph_features(
+            observation, self.config.feature, interarrival_hint=self.interarrival_hint
+        )
+        embeddings = self.gnn(graph)
+
+        # --- stage selection (masked softmax over schedulable nodes, Eq. 2)
+        node_logits = self.policy.node_logits(graph, embeddings)
+        node_mask = graph.schedulable_mask
+        node_log_probs = masked_log_softmax(node_logits, node_mask)
+        node_row = self._choose(node_log_probs.data, node_mask, rng, greedy)
+        node = graph.nodes[node_row]
+        job_index = int(graph.job_ids[node_row])
+        job = graph.jobs[job_index]
+
+        log_prob = node_log_probs[node_row]
+        entropy = entropy_from_log_probs(node_log_probs, node_mask)
+
+        # --- parallelism-limit selection
+        if self.config.use_parallelism_control:
+            limits = self.candidate_limits(job)
+            limit_inputs = self._limit_inputs(limits)
+            limit_logits = self.policy.limit_logits(graph, embeddings, job_index, limit_inputs)
+            limit_mask = np.ones(len(limits), dtype=bool)
+            limit_log_probs = masked_log_softmax(limit_logits, limit_mask)
+            limit_row = self._choose(limit_log_probs.data, limit_mask, rng, greedy)
+            parallelism_limit = int(limits[limit_row])
+            log_prob = log_prob + limit_log_probs[limit_row]
+            entropy = entropy + entropy_from_log_probs(limit_log_probs, limit_mask)
+        else:
+            parallelism_limit = self.total_executors
+
+        # --- executor-class selection (multi-resource only)
+        executor_class = None
+        if self.config.multi_resource and observation.executor_classes:
+            classes = [
+                cls
+                for cls in observation.executor_classes
+                if cls.fits(node) and observation.free_executors_by_class.get(cls, 0) > 0
+            ]
+            if classes:
+                class_logits = self.policy.class_logits(graph, embeddings, job_index, classes)
+                class_mask = np.ones(len(classes), dtype=bool)
+                class_log_probs = masked_log_softmax(class_logits, class_mask)
+                class_row = self._choose(class_log_probs.data, class_mask, rng, greedy)
+                executor_class = classes[class_row]
+                log_prob = log_prob + class_log_probs[class_row]
+                entropy = entropy + entropy_from_log_probs(class_log_probs, class_mask)
+
+        action = Action(
+            node=node, parallelism_limit=parallelism_limit, executor_class=executor_class
+        )
+        info = StepInfo(log_prob=log_prob, entropy=entropy) if training else None
+        return action, info
+
+    @staticmethod
+    def _choose(
+        log_probs: np.ndarray, mask: np.ndarray, rng: np.random.Generator, greedy: bool
+    ) -> int:
+        """Sample (or arg-max) an index from masked log-probabilities."""
+        masked = np.where(mask, log_probs, -np.inf)
+        if greedy:
+            return int(np.argmax(masked))
+        probs = np.exp(masked - masked.max())
+        probs[~mask] = 0.0
+        probs = probs / probs.sum()
+        return int(rng.choice(len(probs), p=probs))

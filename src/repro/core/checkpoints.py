@@ -1,0 +1,44 @@
+"""Saving and loading trained Decima models (npz checkpoints)."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .agent import DecimaAgent
+
+__all__ = ["save_agent", "load_agent_weights"]
+
+
+def save_agent(agent: DecimaAgent, path: Union[str, Path]) -> Path:
+    """Write the agent's parameters (and a config summary) to ``path`` (.npz)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = agent.state_dict()
+    meta = {
+        "total_executors": agent.total_executors,
+        "num_parameters": agent.num_parameters(),
+        "config": {
+            key: value
+            for key, value in asdict(agent.config).items()
+            if isinstance(value, (int, float, bool, str, type(None)))
+        },
+    }
+    np.savez(path, __meta__=json.dumps(meta), **state)
+    return path
+
+
+def load_agent_weights(agent: DecimaAgent, path: Union[str, Path]) -> DecimaAgent:
+    """Load parameters saved by :func:`save_agent` into an existing agent.
+
+    The agent must have been constructed with the same architecture (the
+    parameter count and shapes are checked by ``load_state_dict``).
+    """
+    archive = np.load(Path(path), allow_pickle=False)
+    state = {key: archive[key] for key in archive.files if key != "__meta__"}
+    agent.load_state_dict(state)
+    return agent

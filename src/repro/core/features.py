@@ -1,0 +1,143 @@
+"""Feature extraction: turn an :class:`Observation` into graph-neural-network inputs.
+
+Per §6.1, the raw feature vector of a stage contains: (i) the number of tasks
+remaining in the stage, (ii) the average task duration, (iii) the number of
+executors currently working on the stage's job, (iv) the number of free
+executors, and (v) whether the free executors are local to the job.  An
+optional sixth feature carries the workload's mean interarrival time (the
+"hint" of Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..simulator.environment import Observation
+from ..simulator.jobdag import JobDAG, Node
+
+__all__ = ["FeatureConfig", "GraphFeatures", "build_graph_features"]
+
+
+@dataclass
+class FeatureConfig:
+    """Normalisation scales and optional extra features."""
+
+    task_scale: float = 200.0
+    duration_scale: float = 100.0
+    executor_scale: float = 50.0
+    include_interarrival_hint: bool = False
+    interarrival_scale: float = 100.0
+    # Appendix J: when task-duration estimates are unavailable for unseen jobs,
+    # the duration feature is zeroed out and Decima must rely on the graph
+    # structure and task counts alone.
+    include_task_duration: bool = True
+
+    @property
+    def num_features(self) -> int:
+        return 6 if self.include_interarrival_hint else 5
+
+
+@dataclass
+class GraphFeatures:
+    """Vectorised view of all job DAGs in one observation.
+
+    Node rows are ordered job-by-job in the order of ``jobs``; ``node_index``
+    maps a :class:`Node` object back to its row.
+    """
+
+    jobs: list[JobDAG]
+    nodes: list[Node]
+    node_features: np.ndarray        # (N, F)
+    adjacency: np.ndarray            # (N, N); adjacency[parent_row, child_row] = 1
+    node_heights: np.ndarray         # (N,) longest distance to a leaf
+    job_ids: np.ndarray              # (N,) row -> job index
+    schedulable_mask: np.ndarray     # (N,) bool
+    node_index: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.jobs)
+
+    def row_of(self, node: Node) -> int:
+        return self.node_index[id(node)]
+
+
+def _node_heights(jobs: list[JobDAG], nodes: list[Node], node_index: dict[int, int]) -> np.ndarray:
+    """Longest distance from each node to a leaf (0 for leaves).
+
+    Message passing proceeds height-by-height so that a node is updated only
+    after all of its children have received their final embedding (Fig. 5a).
+    """
+    heights = np.zeros(len(nodes), dtype=np.int64)
+    for job in jobs:
+        # Reverse topological order: children are processed before parents.
+        for node in reversed(job._topo_order):
+            row = node_index[id(node)]
+            child_heights = [heights[node_index[id(child)]] for child in node.children]
+            heights[row] = 1 + max(child_heights) if child_heights else 0
+    return heights
+
+
+def build_graph_features(
+    observation: Observation,
+    config: Optional[FeatureConfig] = None,
+    interarrival_hint: Optional[float] = None,
+) -> GraphFeatures:
+    """Assemble the node-feature matrix, adjacency and masks for the GNN."""
+    config = config or FeatureConfig()
+    jobs = list(observation.job_dags)
+    nodes: list[Node] = []
+    job_ids: list[int] = []
+    node_index: dict[int, int] = {}
+    for job_pos, job in enumerate(jobs):
+        for node in job.nodes:
+            node_index[id(node)] = len(nodes)
+            nodes.append(node)
+            job_ids.append(job_pos)
+
+    num_nodes = len(nodes)
+    features = np.zeros((num_nodes, config.num_features))
+    free = observation.num_free_executors / config.executor_scale
+    for row, node in enumerate(nodes):
+        job = node.job
+        remaining_tasks = node.num_tasks - node.num_finished_tasks
+        local = 1.0 if observation.source_job is job else 0.0
+        features[row, 0] = remaining_tasks / config.task_scale
+        if config.include_task_duration:
+            features[row, 1] = node.task_duration / config.duration_scale
+        features[row, 2] = node.num_running_tasks / config.executor_scale
+        features[row, 3] = free
+        features[row, 4] = local
+        if config.include_interarrival_hint:
+            hint = interarrival_hint if interarrival_hint is not None else 0.0
+            features[row, 5] = hint / config.interarrival_scale
+
+    adjacency = np.zeros((num_nodes, num_nodes))
+    for job in jobs:
+        for node in job.nodes:
+            parent_row = node_index[id(node)]
+            for child in node.children:
+                adjacency[parent_row, node_index[id(child)]] = 1.0
+
+    schedulable_rows = np.zeros(num_nodes, dtype=bool)
+    for node in observation.schedulable_nodes:
+        schedulable_rows[node_index[id(node)]] = True
+
+    heights = _node_heights(jobs, nodes, node_index)
+    return GraphFeatures(
+        jobs=jobs,
+        nodes=nodes,
+        node_features=features,
+        adjacency=adjacency,
+        node_heights=heights,
+        job_ids=np.asarray(job_ids, dtype=np.intp),
+        schedulable_mask=schedulable_rows,
+        node_index=node_index,
+    )

@@ -1,0 +1,114 @@
+"""Decima's graph neural network (§5.1).
+
+The network embeds every stage of every job into a vector using the
+aggregation of Eq. (1):
+
+    e_v = g( sum_{u in children(v)} f(e_u) ) + prep(x_v)
+
+and then summarises nodes into per-job embeddings ``y_i`` and a global
+embedding ``z`` (Fig. 5b), using a *separate* pair of non-linear transforms
+``(f, g)`` at every level — six transforms in total.  The two-level
+non-linearity is what lets the network express max-like quantities such as the
+critical path (Appendix E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autograd import Tensor, concat, segment_sum
+from .features import GraphFeatures
+from .nn import MLP, Module
+
+__all__ = ["GNNConfig", "GraphEmbeddings", "GraphNeuralNetwork"]
+
+
+@dataclass
+class GNNConfig:
+    """Sizes of the embedding network (paper defaults: 32/16 hidden units, dim-8 embeddings)."""
+
+    num_features: int = 5
+    embedding_dim: int = 8
+    hidden_sizes: tuple[int, ...] = (32, 16)
+    max_message_passing_depth: int = 8
+    # Ablation switch (Appendix E / Fig. 19): drop the outer non-linearity g so
+    # the aggregation is a plain sum of transformed child embeddings.
+    two_level_aggregation: bool = True
+
+
+@dataclass
+class GraphEmbeddings:
+    """Outputs of the graph neural network for one observation."""
+
+    node_embeddings: Tensor   # (N, D)
+    job_embeddings: Tensor    # (J, D)
+    global_embedding: Tensor  # (1, D)
+
+
+class GraphNeuralNetwork(Module):
+    """Per-node, per-job and global embeddings via message passing."""
+
+    def __init__(self, config: GNNConfig, rng: np.random.Generator):
+        self.config = config
+        dim = config.embedding_dim
+        hidden = config.hidden_sizes
+        # Node-level transforms: prep projects raw features, f/g implement Eq. (1).
+        self.prep = MLP(config.num_features, dim, rng, hidden_sizes=hidden)
+        self.node_f = MLP(dim, dim, rng, hidden_sizes=hidden)
+        self.node_g = MLP(dim, dim, rng, hidden_sizes=hidden)
+        # Job-level summary transforms (inputs: raw features + node embedding).
+        self.job_f = MLP(config.num_features + dim, dim, rng, hidden_sizes=hidden)
+        self.job_g = MLP(dim, dim, rng, hidden_sizes=hidden)
+        # Global summary transforms (inputs: job embeddings).
+        self.global_f = MLP(dim, dim, rng, hidden_sizes=hidden)
+        self.global_g = MLP(dim, dim, rng, hidden_sizes=hidden)
+
+    # ------------------------------------------------------------------ nodes
+    def node_embeddings(self, graph: GraphFeatures) -> Tensor:
+        """Bottom-up message passing over all DAGs at once (Eq. 1 / Fig. 5a)."""
+        features = Tensor(graph.node_features)
+        embeddings = self.prep(features)
+        if graph.num_nodes == 0:
+            return embeddings
+        adjacency = Tensor(graph.adjacency)
+        max_height = int(graph.node_heights.max()) if graph.num_nodes else 0
+        max_height = min(max_height, self.config.max_message_passing_depth)
+        for height in range(1, max_height + 1):
+            mask = (graph.node_heights == height).astype(np.float64).reshape(-1, 1)
+            if not mask.any():
+                continue
+            messages = self.node_f(embeddings)
+            aggregated = adjacency @ messages
+            if self.config.two_level_aggregation:
+                update = self.node_g(aggregated)
+            else:
+                update = aggregated
+            embeddings = embeddings + update * Tensor(mask)
+        return embeddings
+
+    # -------------------------------------------------------------- summaries
+    def job_embeddings(self, graph: GraphFeatures, node_embeddings: Tensor) -> Tensor:
+        """Per-job summary y_i: aggregate a job's node embeddings (and raw features)."""
+        inputs = concat([Tensor(graph.node_features), node_embeddings], axis=1)
+        transformed = self.job_f(inputs)
+        summed = segment_sum(transformed, graph.job_ids, graph.num_jobs)
+        if self.config.two_level_aggregation:
+            return self.job_g(summed)
+        return summed
+
+    def global_embedding(self, job_embeddings: Tensor) -> Tensor:
+        """Global summary z: aggregate all per-job embeddings."""
+        transformed = self.global_f(job_embeddings)
+        num_jobs = job_embeddings.shape[0]
+        summed = segment_sum(transformed, np.zeros(num_jobs, dtype=np.intp), 1)
+        if self.config.two_level_aggregation:
+            return self.global_g(summed)
+        return summed
+
+    def __call__(self, graph: GraphFeatures) -> GraphEmbeddings:
+        nodes = self.node_embeddings(graph)
+        jobs = self.job_embeddings(graph, nodes)
+        cluster = self.global_embedding(jobs)
+        return GraphEmbeddings(node_embeddings=nodes, job_embeddings=jobs, global_embedding=cluster)

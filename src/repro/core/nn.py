@@ -1,0 +1,186 @@
+"""Neural-network building blocks used by Decima's graph and policy networks.
+
+The paper uses two-hidden-layer fully connected networks (32 and 16 hidden
+units, leaky-ReLU activations) for every transformation function (``f``, ``g``,
+``q`` and ``w``), trained with the Adam optimizer.  This module provides those
+pieces on top of :mod:`repro.autograd`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..autograd import Tensor
+
+__all__ = ["Parameter", "Module", "Dense", "MLP", "Adam", "glorot_init"]
+
+
+def glorot_init(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation used for all dense layers."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+class Parameter(Tensor):
+    """A tensor flagged as trainable."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Minimal container with recursive parameter discovery."""
+
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        seen: set[int] = set()
+        self._collect(params, seen)
+        return params
+
+    def _collect(self, params: list[Parameter], seen: set[int]) -> None:
+        for value in self.__dict__.values():
+            self._collect_value(value, params, seen)
+
+    @staticmethod
+    def _collect_value(value, params: list[Parameter], seen: set[int]) -> None:
+        if isinstance(value, Parameter):
+            if id(value) not in seen:
+                seen.add(id(value))
+                params.append(value)
+        elif isinstance(value, Module):
+            value._collect(params, seen)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                Module._collect_value(item, params, seen)
+        elif isinstance(value, dict):
+            for item in value.values():
+                Module._collect_value(item, params, seen)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters (the paper reports 12,736)."""
+        return sum(p.size for p in self.parameters())
+
+    # ----------------------------------------------------------- state dict
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat mapping of parameter index to array, for checkpointing."""
+        return {f"param_{i}": p.data.copy() for i, p in enumerate(self.parameters())}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ValueError(
+                f"state dict has {len(state)} entries, model has {len(params)} parameters"
+            )
+        for i, param in enumerate(params):
+            array = np.asarray(state[f"param_{i}"], dtype=np.float64)
+            if array.shape != param.shape:
+                raise ValueError(
+                    f"parameter {i} shape mismatch: {array.shape} vs {param.shape}"
+                )
+            param.data = array.copy()
+
+
+class Dense(Module):
+    """A single fully connected layer ``x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(glorot_init(rng, in_features, out_features))
+        self.bias = Parameter(np.zeros(out_features))
+
+    def __call__(self, inputs: Tensor) -> Tensor:
+        return inputs @ self.weight + self.bias
+
+
+class MLP(Module):
+    """Multi-layer perceptron with leaky-ReLU hidden activations.
+
+    ``hidden_sizes`` defaults to the paper's (32, 16).  The output layer is
+    linear (no activation) unless ``output_activation`` is set.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        hidden_sizes: Sequence[int] = (32, 16),
+        output_activation: str | None = None,
+        negative_slope: float = 0.2,
+    ):
+        self.negative_slope = negative_slope
+        self.output_activation = output_activation
+        sizes = [in_features, *hidden_sizes, out_features]
+        self.layers = [Dense(sizes[i], sizes[i + 1], rng) for i in range(len(sizes) - 1)]
+
+    def __call__(self, inputs: Tensor) -> Tensor:
+        out = inputs
+        for layer in self.layers[:-1]:
+            out = layer(out).leaky_relu(self.negative_slope)
+        out = self.layers[-1](out)
+        if self.output_activation == "leaky_relu":
+            out = out.leaky_relu(self.negative_slope)
+        elif self.output_activation == "tanh":
+            out = out.tanh()
+        elif self.output_activation == "sigmoid":
+            out = out.sigmoid()
+        elif self.output_activation is not None:
+            raise ValueError(f"unknown output activation {self.output_activation!r}")
+        return out
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba), the optimizer used in the paper."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ):
+        self.parameters = list(parameters)
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self.step_count = 0
+        self._first_moment = [np.zeros_like(p.data) for p in self.parameters]
+        self._second_moment = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        """Apply one update using the gradients accumulated in ``param.grad``."""
+        self.step_count += 1
+        bias1 = 1.0 - self.beta1 ** self.step_count
+        bias2 = 1.0 - self.beta2 ** self.step_count
+        for i, param in enumerate(self.parameters):
+            grad = param.grad
+            if grad is None:
+                continue
+            m = self._first_moment[i]
+            v = self._second_moment[i]
+            m[:] = self.beta1 * m + (1.0 - self.beta1) * grad
+            v[:] = self.beta2 * v + (1.0 - self.beta2) * grad ** 2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data = param.data - self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def apply_gradients(self, gradients: Sequence[np.ndarray]) -> None:
+        """Apply externally computed gradients (e.g. averaged across rollouts)."""
+        if len(gradients) != len(self.parameters):
+            raise ValueError("gradient list length does not match parameter count")
+        for param, grad in zip(self.parameters, gradients):
+            param.grad = None if grad is None else np.asarray(grad, dtype=np.float64)
+        self.step()

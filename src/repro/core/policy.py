@@ -1,0 +1,136 @@
+"""Decima's policy network (§5.2, Fig. 6).
+
+Given the embeddings produced by the graph neural network, the policy network
+computes:
+
+* a score ``q(e_v, y_i, z)`` per schedulable stage, fed through a masked
+  softmax (Eq. 2) to pick the stage to run next;
+* a score ``w(y_i, z, l)`` per parallelism limit ``l`` for the chosen stage's
+  job — the limit is an *input* to the score function, so a single function is
+  reused for all limits (this is the encoding Fig. 15a shows trains fastest);
+* optionally, a score ``c(y_i, z, cpu, memory)`` per executor class for the
+  multi-resource environment of §7.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autograd import Tensor, concat
+from ..simulator.executor import ExecutorClass
+from .features import GraphFeatures
+from .gnn import GraphEmbeddings
+from .nn import MLP, Module
+
+__all__ = ["PolicyConfig", "PolicyNetwork"]
+
+
+@dataclass
+class PolicyConfig:
+    """Sizes and switches of the policy network."""
+
+    num_features: int = 5
+    embedding_dim: int = 8
+    hidden_sizes: tuple[int, ...] = (32, 16)
+    # Ablation: bypass the graph embeddings and score nodes from raw features only
+    # ("Decima w/o graph embedding" in Fig. 14).
+    use_graph_embedding: bool = True
+    # Multi-resource executor-class head (§7.3).
+    use_executor_class_head: bool = False
+    # Width of the parallelism-limit input: 1 = the limit value is a scalar
+    # input to a single reused score function (the paper's encoding); a larger
+    # value means the limit is one-hot encoded, which effectively gives every
+    # limit its own parameters (the slower-training variant of Fig. 15a).
+    limit_input_dim: int = 1
+
+
+class PolicyNetwork(Module):
+    """Score functions q(.), w(.) and (optionally) the executor-class head."""
+
+    def __init__(self, config: PolicyConfig, rng: np.random.Generator):
+        self.config = config
+        dim = config.embedding_dim
+        hidden = config.hidden_sizes
+        node_inputs = config.num_features + 3 * dim
+        limit_inputs = 2 * dim + config.limit_input_dim
+        class_inputs = 2 * dim + 2
+        self.node_score = MLP(node_inputs, 1, rng, hidden_sizes=hidden)
+        self.limit_score = MLP(limit_inputs, 1, rng, hidden_sizes=hidden)
+        self.class_score = (
+            MLP(class_inputs, 1, rng, hidden_sizes=hidden)
+            if config.use_executor_class_head
+            else None
+        )
+
+    # ------------------------------------------------------------------ nodes
+    def node_logits(self, graph: GraphFeatures, embeddings: GraphEmbeddings) -> Tensor:
+        """One logit per node row: q(x_v, e_v, y_{j(v)}, z)."""
+        num_nodes = graph.num_nodes
+        features = Tensor(graph.node_features)
+        if self.config.use_graph_embedding:
+            node_emb = embeddings.node_embeddings
+            job_emb = embeddings.job_embeddings[graph.job_ids]
+            global_emb = embeddings.global_embedding[np.zeros(num_nodes, dtype=np.intp)]
+        else:
+            zeros = Tensor(np.zeros((num_nodes, self.config.embedding_dim)))
+            node_emb = job_emb = global_emb = zeros
+        inputs = concat([features, node_emb, job_emb, global_emb], axis=1)
+        return self.node_score(inputs).reshape(num_nodes)
+
+    # ----------------------------------------------------------------- limits
+    def limit_logits(
+        self,
+        graph: GraphFeatures,
+        embeddings: GraphEmbeddings,
+        job_index: int,
+        limit_inputs: np.ndarray,
+    ) -> Tensor:
+        """One logit per candidate parallelism limit for job ``job_index``.
+
+        ``limit_inputs`` has one row per candidate limit: a single column with
+        the limit normalised by the cluster size (the paper's encoding), or a
+        one-hot row when ``limit_input_dim > 1`` (the ablation of Fig. 15a).
+        """
+        limit_inputs = np.atleast_2d(np.asarray(limit_inputs, dtype=np.float64))
+        num_limits = limit_inputs.shape[0]
+        if limit_inputs.shape[1] != self.config.limit_input_dim:
+            raise ValueError(
+                f"limit inputs have width {limit_inputs.shape[1]}, "
+                f"policy expects {self.config.limit_input_dim}"
+            )
+        if self.config.use_graph_embedding:
+            rows = np.full(num_limits, job_index, dtype=np.intp)
+            job_emb = embeddings.job_embeddings[rows]
+            global_emb = embeddings.global_embedding[np.zeros(num_limits, dtype=np.intp)]
+        else:
+            zeros = Tensor(np.zeros((num_limits, self.config.embedding_dim)))
+            job_emb = global_emb = zeros
+        inputs = concat([job_emb, global_emb, Tensor(limit_inputs)], axis=1)
+        return self.limit_score(inputs).reshape(num_limits)
+
+    # ---------------------------------------------------------------- classes
+    def class_logits(
+        self,
+        graph: GraphFeatures,
+        embeddings: GraphEmbeddings,
+        job_index: int,
+        executor_classes: list[ExecutorClass],
+    ) -> Tensor:
+        """One logit per executor class for the multi-resource action head."""
+        if self.class_score is None:
+            raise RuntimeError("executor-class head is disabled in this policy")
+        num_classes = len(executor_classes)
+        if self.config.use_graph_embedding:
+            rows = np.full(num_classes, job_index, dtype=np.intp)
+            job_emb = embeddings.job_embeddings[rows]
+            global_emb = embeddings.global_embedding[np.zeros(num_classes, dtype=np.intp)]
+        else:
+            zeros = Tensor(np.zeros((num_classes, self.config.embedding_dim)))
+            job_emb = global_emb = zeros
+        class_features = Tensor(
+            np.array([[cls.cpu, cls.memory] for cls in executor_classes], dtype=np.float64)
+        )
+        inputs = concat([job_emb, global_emb, class_features], axis=1)
+        return self.class_score(inputs).reshape(num_classes)

@@ -1,0 +1,84 @@
+"""Episode rollout collection for REINFORCE training."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..simulator.environment import SchedulingEnvironment
+from ..simulator.jobdag import JobDAG
+from ..simulator.metrics import SimulationResult
+from .agent import DecimaAgent
+
+__all__ = ["Transition", "Trajectory", "collect_rollout"]
+
+
+@dataclass
+class Transition:
+    """One action and its consequences."""
+
+    log_prob: Tensor
+    entropy: Tensor
+    reward: float
+    wall_time: float
+
+
+@dataclass
+class Trajectory:
+    """A full training episode."""
+
+    transitions: list[Transition] = field(default_factory=list)
+    result: Optional[SimulationResult] = None
+
+    @property
+    def num_actions(self) -> int:
+        return len(self.transitions)
+
+    @property
+    def total_reward(self) -> float:
+        return float(sum(t.reward for t in self.transitions))
+
+    def rewards(self) -> np.ndarray:
+        return np.array([t.reward for t in self.transitions])
+
+    def wall_times(self) -> np.ndarray:
+        return np.array([t.wall_time for t in self.transitions])
+
+
+def collect_rollout(
+    environment: SchedulingEnvironment,
+    agent: DecimaAgent,
+    jobs: list[JobDAG],
+    rng: np.random.Generator,
+    seed: Optional[int] = None,
+    max_actions: Optional[int] = None,
+) -> Trajectory:
+    """Run one sampled episode of ``agent`` and record per-action training data.
+
+    Actions are *sampled* from the policy (not arg-maxed) so the policy
+    gradient explores.  ``max_actions`` is a safety bound for degenerate
+    policies early in training.
+    """
+    trajectory = Trajectory()
+    observation = environment.reset(jobs, seed=seed)
+    done = False
+    while not done:
+        action, info = agent.act(observation, rng=rng, greedy=False, training=True)
+        wall_time = environment.wall_time
+        observation, reward, done = environment.step(action)
+        if info is not None:
+            trajectory.transitions.append(
+                Transition(
+                    log_prob=info.log_prob,
+                    entropy=info.entropy,
+                    reward=reward,
+                    wall_time=wall_time,
+                )
+            )
+        if max_actions is not None and trajectory.num_actions >= max_actions:
+            break
+    trajectory.result = environment.result()
+    return trajectory

@@ -1,0 +1,68 @@
+"""Experiment harness: runners and per-figure/per-table reproduction functions."""
+
+from .appendix import (
+    figure16_appendix_example,
+    figure18_simulator_fidelity,
+    figure19_expressiveness,
+    figure20_multi_resource_timeseries,
+    figure22_optimality,
+    figure23_incomplete_information,
+    toy_join_dag,
+)
+from .figures import (
+    compare_schedulers,
+    concurrency_series,
+    figure2_parallelism_curves,
+    figure3_illustrative_example,
+    figure7_arrival_variance,
+    figure9a_batched_arrivals,
+    figure9b_continuous_arrivals,
+    figure10_time_series,
+    figure11_multi_resource,
+    figure12_executor_profile,
+    figure13_objectives,
+    figure14_ablations,
+    figure15a_learning_curves,
+    figure15b_scheduling_delay,
+)
+from .reporting import format_cdf_summary, format_scalar_table, format_series, improvement_over
+from .runner import clone_jobs, run_episode, run_scheduler_on_jobs, tune_weighted_fair
+from .tables import table2_generalization, table3_scale_generalization
+from .training import tpch_batch_factory, tpch_poisson_factory, train_decima_agent
+
+__all__ = [
+    "figure16_appendix_example",
+    "figure18_simulator_fidelity",
+    "figure19_expressiveness",
+    "figure20_multi_resource_timeseries",
+    "figure22_optimality",
+    "figure23_incomplete_information",
+    "toy_join_dag",
+    "compare_schedulers",
+    "concurrency_series",
+    "figure2_parallelism_curves",
+    "figure3_illustrative_example",
+    "figure7_arrival_variance",
+    "figure9a_batched_arrivals",
+    "figure9b_continuous_arrivals",
+    "figure10_time_series",
+    "figure11_multi_resource",
+    "figure12_executor_profile",
+    "figure13_objectives",
+    "figure14_ablations",
+    "figure15a_learning_curves",
+    "figure15b_scheduling_delay",
+    "format_cdf_summary",
+    "format_scalar_table",
+    "format_series",
+    "improvement_over",
+    "clone_jobs",
+    "run_episode",
+    "run_scheduler_on_jobs",
+    "tune_weighted_fair",
+    "table2_generalization",
+    "table3_scale_generalization",
+    "tpch_batch_factory",
+    "tpch_poisson_factory",
+    "train_decima_agent",
+]

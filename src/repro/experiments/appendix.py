@@ -1,0 +1,273 @@
+"""Reproduction functions for the appendix experiments (Appendices A, D, E, G, H, I, J)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.agent import DecimaAgent, DecimaConfig
+from ..core.features import FeatureConfig
+from ..core.supervised import (
+    CriticalPathDataset,
+    CriticalPathRegressor,
+    train_critical_path_regressor,
+)
+from ..schedulers import SJFCPScheduler, StaticOrderScheduler, exhaustive_search
+from ..schedulers.base import Scheduler, critical_path_node, runnable_by_job
+from ..simulator.duration import DurationModelConfig
+from ..simulator.environment import Action, Observation, SimulatorConfig
+from ..simulator.jobdag import JobDAG, Node
+from ..simulator.multi_resource import multi_resource_config
+from ..workloads.alibaba import sample_alibaba_jobs
+from ..workloads.arrivals import batched_arrivals, poisson_arrivals
+from ..workloads.tpch import TPCH_QUERY_IDS, make_tpch_job, sample_tpch_jobs
+from .figures import compare_schedulers, concurrency_series
+from .runner import clone_jobs, run_scheduler_on_jobs, tune_weighted_fair
+from .training import tpch_batch_factory, tpch_poisson_factory, train_decima_agent
+
+__all__ = [
+    "toy_join_dag",
+    "figure16_appendix_example",
+    "figure18_simulator_fidelity",
+    "figure19_expressiveness",
+    "figure20_multi_resource_timeseries",
+    "figure22_optimality",
+    "figure23_incomplete_information",
+]
+
+
+# -------------------------------------------------------------- Appendix A (Fig 16)
+def toy_join_dag(epsilon: float = 0.05) -> JobDAG:
+    """The two-branch join DAG of Appendix A (Fig. 16).
+
+    Left branch:  (5, eps) -> (1, 10);      right branch: (5, eps) -> (40, 1) -> (5, 10);
+    both feed a final (5, eps) join stage.  On 5 task slots, a critical-path
+    schedule takes 28 + 3eps while the optimal plan takes 20 + 3eps.
+    """
+    nodes = [
+        Node(0, num_tasks=5, task_duration=epsilon, name="left-head"),
+        Node(1, num_tasks=1, task_duration=10.0, name="left-tail"),
+        Node(2, num_tasks=5, task_duration=epsilon, name="right-head"),
+        Node(3, num_tasks=40, task_duration=1.0, name="right-mid"),
+        Node(4, num_tasks=5, task_duration=10.0, name="right-tail"),
+        Node(5, num_tasks=5, task_duration=epsilon, name="join"),
+    ]
+    edges = [(0, 1), (2, 3), (3, 4), (1, 5), (4, 5)]
+    return JobDAG(nodes=nodes, edges=edges, name="appendix-a-join")
+
+
+class _BalancedToyScheduler(Scheduler):
+    """Hand-crafted optimal plan for the Appendix-A DAG: 1 slot left, 4 slots right."""
+
+    name = "optimal_plan"
+
+    def schedule(self, observation: Observation) -> Optional[Action]:
+        grouped = runnable_by_job(observation)
+        if not grouped:
+            return None
+        job, nodes = next(iter(grouped.items()))
+        by_name = {node.name: node for node in nodes}
+        # Give the long-running left tail its single slot first, then fill the
+        # wide right branch with everything else.
+        for name, limit in (
+            ("left-head", observation.total_executors),
+            ("right-head", observation.total_executors),
+            ("left-tail", job.num_active_executors + 1),
+            ("right-mid", observation.total_executors),
+            ("right-tail", observation.total_executors),
+            ("join", observation.total_executors),
+        ):
+            if name in by_name:
+                return Action(node=by_name[name], parallelism_limit=limit)
+        return Action(node=nodes[0], parallelism_limit=observation.total_executors)
+
+
+class _CriticalPathToyScheduler(Scheduler):
+    """Greedy critical-path-first schedule (the suboptimal plan of Fig. 16)."""
+
+    name = "critical_path"
+
+    def schedule(self, observation: Observation) -> Optional[Action]:
+        grouped = runnable_by_job(observation)
+        if not grouped:
+            return None
+        job, nodes = next(iter(grouped.items()))
+        node = critical_path_node(nodes)
+        return Action(node=node, parallelism_limit=observation.total_executors)
+
+
+def figure16_appendix_example(epsilon: float = 0.05, num_slots: int = 5) -> dict[str, float]:
+    """Makespan of the critical-path vs the optimal schedule on the toy DAG."""
+    config = SimulatorConfig(
+        num_executors=num_slots,
+        duration=DurationModelConfig().simplified(),
+        seed=0,
+    )
+    outputs = {}
+    for scheduler in (_CriticalPathToyScheduler(), _BalancedToyScheduler()):
+        result = run_scheduler_on_jobs(scheduler, [toy_join_dag(epsilon)], config=config)
+        outputs[scheduler.name] = result.makespan
+    outputs["theoretical_critical_path"] = 28 + 3 * epsilon
+    outputs["theoretical_optimal"] = 20 + 3 * epsilon
+    return outputs
+
+
+# -------------------------------------------------------------- Appendix D (Fig 18)
+def figure18_simulator_fidelity(
+    query_ids: Sequence[int] = TPCH_QUERY_IDS,
+    size_gb: float = 20.0,
+    num_executors: int = 50,
+    seed: int = 0,
+) -> dict[str, dict[str, float]]:
+    """Simulated vs "real" job durations, alone and in a shared cluster.
+
+    Substitution: the paper compares its simulator against a real Spark
+    cluster; offline we compare two independent stochastic executions of the
+    full-fidelity simulator (different duration-noise seeds), which bounds the
+    run-to-run error a user of the simulator would observe.
+    """
+    alone_errors = {}
+    shared_errors = {}
+    scheduler = SJFCPScheduler()
+    config = SimulatorConfig(num_executors=num_executors, seed=seed)
+    # Jobs in isolation.
+    for query_id in query_ids:
+        durations = []
+        for replica in range(2):
+            job = make_tpch_job(query_id, size_gb)
+            result = run_scheduler_on_jobs(scheduler, [job], config=config, seed=seed + replica)
+            durations.append(result.average_jct)
+        reference, simulated = durations
+        alone_errors[f"q{query_id}"] = abs(simulated - reference) / max(reference, 1e-9)
+    # Jobs sharing the cluster.
+    jobs = batched_arrivals([make_tpch_job(query_id, size_gb) for query_id in query_ids])
+    per_run: list[dict[str, float]] = []
+    for replica in range(2):
+        result = run_scheduler_on_jobs(scheduler, jobs, config=config, seed=seed + replica)
+        per_run.append(result.job_completion_times())
+    for name in per_run[0]:
+        reference = per_run[0][name]
+        simulated = per_run[1].get(name, reference)
+        shared_errors[name] = abs(simulated - reference) / max(reference, 1e-9)
+    return {"isolated_relative_error": alone_errors, "shared_relative_error": shared_errors}
+
+
+# -------------------------------------------------------------- Appendix E (Fig 19)
+def figure19_expressiveness(
+    num_train_graphs: int = 40,
+    num_test_graphs: int = 20,
+    num_iterations: int = 150,
+    seed: int = 0,
+) -> dict[str, list[float]]:
+    """Critical-path identification accuracy: two-level vs single-level aggregation."""
+    rng = np.random.default_rng(seed)
+    train_set = CriticalPathDataset.generate(num_train_graphs, rng)
+    test_set = CriticalPathDataset.generate(num_test_graphs, rng)
+    curves = {}
+    for name, two_level in (("two_level_aggregation", True), ("single_aggregation", False)):
+        model = CriticalPathRegressor(two_level_aggregation=two_level, seed=seed)
+        result = train_critical_path_regressor(
+            model,
+            train_set,
+            test_set,
+            num_iterations=num_iterations,
+            rng=np.random.default_rng(seed + 1),
+        )
+        curves[name] = result.accuracy_per_eval
+    return curves
+
+
+# -------------------------------------------------------------- Appendix G (Fig 20/21)
+def figure20_multi_resource_timeseries(
+    multi_resource_results: dict[str, dict],
+    step: float = 30.0,
+) -> dict[str, dict]:
+    """Concurrent jobs and executor usage over time for Decima vs Graphene* (Fig. 20/21)."""
+    analysis = {}
+    for name in ("decima", "graphene"):
+        if name not in multi_resource_results:
+            continue
+        result = multi_resource_results[name]["result"]
+        per_job_executors: dict[str, set[int]] = {}
+        for record in result.timeline:
+            per_job_executors.setdefault(record.job_name, set()).add(record.executor_id)
+        analysis[name] = {
+            "concurrency": concurrency_series(result, step=step),
+            "executors_per_job": {k: len(v) for k, v in per_job_executors.items()},
+            "average_jct": result.average_jct if result.finished_jobs else float("nan"),
+        }
+    return analysis
+
+
+# -------------------------------------------------------------- Appendix H (Fig 22)
+def figure22_optimality(
+    num_jobs: int = 5,
+    num_executors: int = 20,
+    seed: int = 0,
+    decima_agent: Optional[DecimaAgent] = None,
+    train_iterations: int = 15,
+) -> dict[str, float]:
+    """Decima vs exhaustive job-ordering search in the simplified environment."""
+    rng = np.random.default_rng(seed)
+    jobs = batched_arrivals(sample_tpch_jobs(num_jobs, rng))
+    config = SimulatorConfig(
+        num_executors=num_executors,
+        duration=DurationModelConfig().simplified(),
+        seed=seed,
+    )
+
+    def evaluate_order(order: tuple[str, ...]) -> float:
+        result = run_scheduler_on_jobs(StaticOrderScheduler(order), jobs, config=config, seed=seed)
+        return result.average_jct
+
+    _, best_jct, _ = exhaustive_search([job.name for job in jobs], evaluate_order)
+    sjf_result = run_scheduler_on_jobs(SJFCPScheduler(), jobs, config=config, seed=seed)
+    tuned, tuned_jct, _ = tune_weighted_fair(
+        jobs, config=config, alphas=np.arange(-2.0, 2.01, 0.5), seed=seed
+    )
+    if decima_agent is None:
+        decima_agent, _ = train_decima_agent(
+            config,
+            tpch_batch_factory(num_jobs),
+            num_iterations=train_iterations,
+            seed=seed,
+        )
+    decima_result = run_scheduler_on_jobs(decima_agent, jobs, config=config, seed=seed)
+    return {
+        "exhaustive_search": best_jct,
+        "sjf_cp": sjf_result.average_jct,
+        "opt_weighted_fair": tuned_jct,
+        "decima": decima_result.average_jct,
+    }
+
+
+# -------------------------------------------------------------- Appendix J (Fig 23)
+def figure23_incomplete_information(
+    num_jobs: int = 15,
+    num_executors: int = 50,
+    seed: int = 0,
+    train_iterations: int = 10,
+) -> dict[str, float]:
+    """Decima trained without task-duration estimates vs the tuned heuristic."""
+    rng = np.random.default_rng(seed)
+    jobs = batched_arrivals(sample_tpch_jobs(num_jobs, rng))
+    config = SimulatorConfig(num_executors=num_executors, seed=seed)
+    tuned, tuned_jct, _ = tune_weighted_fair(
+        jobs, config=config, alphas=np.arange(-2.0, 2.01, 0.5), seed=seed
+    )
+    outputs = {"opt_weighted_fair": tuned_jct}
+    for name, include_duration in (("decima", True), ("decima_no_duration", False)):
+        agent_config = DecimaConfig(
+            feature=FeatureConfig(include_task_duration=include_duration), seed=seed
+        )
+        agent, _ = train_decima_agent(
+            config,
+            tpch_batch_factory(num_jobs),
+            num_iterations=train_iterations,
+            agent_config=agent_config,
+            seed=seed,
+        )
+        result = run_scheduler_on_jobs(agent, jobs, config=config, seed=seed)
+        outputs[name] = result.average_jct
+    return outputs

@@ -1,0 +1,63 @@
+"""Plain-text reporting helpers: print the rows/series the paper's figures show."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "format_scalar_table",
+    "format_series",
+    "format_cdf_summary",
+    "improvement_over",
+]
+
+
+def format_scalar_table(title: str, rows: Mapping[str, float], unit: str = "sec") -> str:
+    """Render a ``name -> value`` mapping as an aligned text table."""
+    lines = [title, "-" * len(title)]
+    width = max((len(name) for name in rows), default=4)
+    for name, value in rows.items():
+        lines.append(f"{name:<{width}}  {value:10.2f} {unit}")
+    return "\n".join(lines)
+
+
+def format_series(title: str, series: Mapping[str, Sequence[tuple[float, float]]]) -> str:
+    """Render named (x, y) series compactly (first/middle/last points)."""
+    lines = [title, "-" * len(title)]
+    for name, points in series.items():
+        points = list(points)
+        if not points:
+            lines.append(f"{name}: (empty)")
+            continue
+        picks = [points[0], points[len(points) // 2], points[-1]]
+        rendered = ", ".join(f"({x:.1f}, {y:.1f})" for x, y in picks)
+        lines.append(f"{name}: {len(points)} points; {rendered}")
+    return "\n".join(lines)
+
+
+def format_cdf_summary(title: str, samples: Mapping[str, Sequence[float]]) -> str:
+    """Summarise per-scheduler JCT samples by mean / p50 / p95 (Fig. 9a material)."""
+    lines = [title, "-" * len(title)]
+    width = max((len(name) for name in samples), default=4)
+    for name, values in samples.items():
+        values = np.asarray(list(values), dtype=float)
+        if values.size == 0:
+            lines.append(f"{name:<{width}}  (no samples)")
+            continue
+        lines.append(
+            f"{name:<{width}}  mean={values.mean():8.2f}  p50={np.percentile(values, 50):8.2f}"
+            f"  p95={np.percentile(values, 95):8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def improvement_over(results: Mapping[str, float], subject: str, reference: str) -> float:
+    """Relative improvement of ``subject`` over ``reference`` (positive = better/lower)."""
+    if reference not in results or subject not in results:
+        raise KeyError("both subject and reference must be present in results")
+    ref = results[reference]
+    if ref == 0:
+        return float("nan")
+    return (ref - results[subject]) / ref

@@ -1,0 +1,96 @@
+"""Episode runner: execute a scheduler against the simulator and collect metrics."""
+
+from __future__ import annotations
+
+import copy
+import time
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..schedulers.base import Scheduler
+from ..schedulers.fair import ALPHA_SWEEP, WeightedFairScheduler
+from ..simulator.environment import SchedulingEnvironment, SimulatorConfig
+from ..simulator.jobdag import JobDAG
+from ..simulator.metrics import SimulationResult
+
+__all__ = ["run_episode", "run_scheduler_on_jobs", "tune_weighted_fair", "clone_jobs"]
+
+
+def clone_jobs(jobs: Iterable[JobDAG]) -> list[JobDAG]:
+    """Deep-copy a job set so several schedulers can run on identical inputs."""
+    return copy.deepcopy(list(jobs))
+
+
+def run_episode(
+    environment: SchedulingEnvironment,
+    scheduler: Scheduler,
+    jobs: Iterable[JobDAG],
+    seed: Optional[int] = None,
+    max_steps: Optional[int] = None,
+    record_delays: bool = False,
+) -> SimulationResult:
+    """Run one full episode of ``scheduler`` on ``jobs`` in ``environment``.
+
+    ``max_steps`` bounds the number of agent invocations (a safety valve for
+    experiments with truncated horizons).  When ``record_delays`` is set, the
+    wall-clock time of each ``scheduler.schedule`` call is recorded so the
+    Figure-15b scheduling-delay distribution can be reproduced.
+    """
+    scheduler.reset()
+    observation = environment.reset(jobs, seed=seed)
+    delays: list[float] = []
+    steps = 0
+    done = False
+    while not done:
+        start = time.perf_counter()
+        action = scheduler.schedule(observation)
+        if record_delays:
+            delays.append(time.perf_counter() - start)
+        observation, _, done = environment.step(action)
+        steps += 1
+        if max_steps is not None and steps >= max_steps:
+            break
+    result = environment.result()
+    result.scheduling_delays = delays
+    return result
+
+
+def run_scheduler_on_jobs(
+    scheduler: Scheduler,
+    jobs: Sequence[JobDAG],
+    config: Optional[SimulatorConfig] = None,
+    seed: Optional[int] = None,
+) -> SimulationResult:
+    """Convenience wrapper: build an environment, clone the jobs, run one episode."""
+    environment = SchedulingEnvironment(config or SimulatorConfig())
+    return run_episode(environment, scheduler, clone_jobs(jobs), seed=seed)
+
+
+def tune_weighted_fair(
+    jobs: Sequence[JobDAG],
+    config: Optional[SimulatorConfig] = None,
+    alphas: Sequence[float] = ALPHA_SWEEP,
+    seed: int = 0,
+) -> tuple[WeightedFairScheduler, float, dict[float, float]]:
+    """Sweep the weighted-fair exponent and return the best scheduler (§7.1 item 5).
+
+    Returns ``(best_scheduler, best_average_jct, jct_by_alpha)``.
+    """
+    config = config or SimulatorConfig()
+    jct_by_alpha: dict[float, float] = {}
+    best_alpha = None
+    best_jct = float("inf")
+    for alpha in alphas:
+        scheduler = WeightedFairScheduler(alpha=alpha)
+        result = run_scheduler_on_jobs(scheduler, jobs, config=config, seed=seed)
+        if not result.finished_jobs:
+            continue
+        jct = result.average_jct
+        jct_by_alpha[float(alpha)] = jct
+        if jct < best_jct:
+            best_jct = jct
+            best_alpha = float(alpha)
+    if best_alpha is None:
+        raise RuntimeError("no alpha in the sweep produced finished jobs")
+    return WeightedFairScheduler(alpha=best_alpha), best_jct, jct_by_alpha

@@ -1,0 +1,152 @@
+"""Reproduction functions for the paper's tables (Table 2 and Table 3)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.agent import DecimaConfig
+from ..core.features import FeatureConfig
+from ..simulator.environment import SimulatorConfig
+from ..workloads.arrivals import poisson_arrivals
+from ..workloads.alibaba import sample_alibaba_jobs
+from ..workloads.tpch import sample_tpch_jobs
+from .runner import run_scheduler_on_jobs, tune_weighted_fair
+from .training import tpch_poisson_factory, train_decima_agent
+
+__all__ = ["table2_generalization", "table3_scale_generalization"]
+
+
+def _mixed_interarrival_factory(num_jobs: int, interarrivals: Sequence[float]):
+    """Training factory sampling a different interarrival time each sequence."""
+
+    def factory(rng: np.random.Generator):
+        interarrival = float(rng.choice(interarrivals))
+        jobs = sample_tpch_jobs(num_jobs, rng)
+        return poisson_arrivals(jobs, interarrival, rng)
+
+    return factory
+
+
+def table2_generalization(
+    test_interarrival: float = 45.0,
+    anti_skewed_interarrival: float = 75.0,
+    mixed_interarrivals: Sequence[float] = (42.0, 55.0, 65.0, 75.0),
+    num_jobs: int = 30,
+    num_executors: int = 50,
+    seed: int = 0,
+    train_iterations: int = 8,
+    num_test_sequences: int = 2,
+) -> dict[str, dict[str, float]]:
+    """Table 2: generalisation of Decima across job interarrival times.
+
+    Trains four agents (on the test workload, on an anti-skewed workload, on a
+    mix of workloads, and on a mix with an interarrival-time input feature) and
+    evaluates all of them, plus the tuned weighted-fair heuristic, on unseen
+    sequences with the test interarrival time.  Returns mean and standard
+    deviation of the average JCT per scheme.
+    """
+    config = SimulatorConfig(num_executors=num_executors, seed=seed)
+
+    trained_agents = {}
+    scenarios = {
+        "decima_trained_on_test": (
+            tpch_poisson_factory(num_jobs, test_interarrival),
+            DecimaConfig(seed=seed),
+            None,
+        ),
+        "decima_anti_skewed": (
+            tpch_poisson_factory(num_jobs, anti_skewed_interarrival),
+            DecimaConfig(seed=seed),
+            None,
+        ),
+        "decima_mixed": (
+            _mixed_interarrival_factory(num_jobs, mixed_interarrivals),
+            DecimaConfig(seed=seed),
+            None,
+        ),
+        "decima_mixed_with_hint": (
+            _mixed_interarrival_factory(num_jobs, mixed_interarrivals),
+            DecimaConfig(seed=seed, feature=FeatureConfig(include_interarrival_hint=True)),
+            test_interarrival,
+        ),
+    }
+    for name, (factory, agent_config, hint) in scenarios.items():
+        agent, _ = train_decima_agent(
+            config,
+            factory,
+            num_iterations=train_iterations,
+            agent_config=agent_config,
+            seed=seed,
+        )
+        if hint is not None:
+            agent.interarrival_hint = hint
+        trained_agents[name] = agent
+
+    rows: dict[str, list[float]] = {name: [] for name in trained_agents}
+    rows["opt_weighted_fair"] = []
+    for sequence in range(num_test_sequences):
+        rng = np.random.default_rng(seed + 500 + sequence)
+        test_jobs = poisson_arrivals(sample_tpch_jobs(num_jobs, rng), test_interarrival, rng)
+        tuned, tuned_jct, _ = tune_weighted_fair(
+            test_jobs, config=config, alphas=np.arange(-2.0, 2.01, 0.5), seed=seed
+        )
+        rows["opt_weighted_fair"].append(tuned_jct)
+        for name, agent in trained_agents.items():
+            result = run_scheduler_on_jobs(agent, test_jobs, config=config, seed=seed)
+            rows[name].append(result.average_jct if result.finished_jobs else float("inf"))
+
+    return {
+        name: {"mean_jct": float(np.mean(values)), "std_jct": float(np.std(values))}
+        for name, values in rows.items()
+    }
+
+
+def table3_scale_generalization(
+    test_num_jobs: int = 30,
+    test_num_executors: int = 50,
+    job_scale_down: int = 5,
+    executor_scale_down: int = 5,
+    mean_interarrival: float = 45.0,
+    seed: int = 0,
+    train_iterations: int = 8,
+) -> dict[str, float]:
+    """Table 3: generalisation to deployments with more jobs / more executors.
+
+    Agents trained with ``job_scale_down`` x fewer concurrent jobs or
+    ``executor_scale_down`` x fewer executors are evaluated on the full test
+    setting and compared against an agent trained directly on it.
+    """
+    test_config = SimulatorConfig(num_executors=test_num_executors, seed=seed)
+    rng = np.random.default_rng(seed + 99)
+    test_jobs = poisson_arrivals(
+        sample_tpch_jobs(test_num_jobs, rng), mean_interarrival, rng
+    )
+
+    scenarios = {
+        "trained_on_test_setting": (test_config, test_num_jobs),
+        "trained_with_fewer_jobs": (test_config, max(2, test_num_jobs // job_scale_down)),
+        "trained_on_smaller_cluster": (
+            SimulatorConfig(
+                num_executors=max(2, test_num_executors // executor_scale_down), seed=seed
+            ),
+            test_num_jobs,
+        ),
+    }
+    outputs = {}
+    for name, (train_config, train_jobs) in scenarios.items():
+        agent, _ = train_decima_agent(
+            train_config,
+            tpch_poisson_factory(train_jobs, mean_interarrival),
+            num_iterations=train_iterations,
+            seed=seed,
+        )
+        # Evaluation always happens on the full-size test setting; the agent's
+        # limit levels refer to its training cluster, so rebuild them for the
+        # test cluster size (the policy itself is size-independent).
+        agent.total_executors = test_num_executors
+        agent._limit_levels = agent._build_limit_levels()
+        result = run_scheduler_on_jobs(agent, test_jobs, config=test_config, seed=seed)
+        outputs[name] = result.average_jct if result.finished_jobs else float("inf")
+    return outputs

@@ -1,0 +1,33 @@
+"""Baseline scheduling heuristics evaluated against Decima (§7.1, Appendix H)."""
+
+from .base import Scheduler, best_fit_class, critical_path_node, runnable_by_job
+from .exhaustive import StaticOrderScheduler, exhaustive_search
+from .fair import (
+    ALPHA_SWEEP,
+    FairScheduler,
+    NaiveWeightedFairScheduler,
+    WeightedFairScheduler,
+)
+from .fifo import FIFOScheduler
+from .graphene import GrapheneScheduler
+from .random_policy import RandomScheduler
+from .sjf_cp import SJFCPScheduler
+from .tetris import TetrisScheduler
+
+__all__ = [
+    "Scheduler",
+    "best_fit_class",
+    "critical_path_node",
+    "runnable_by_job",
+    "StaticOrderScheduler",
+    "exhaustive_search",
+    "ALPHA_SWEEP",
+    "FairScheduler",
+    "NaiveWeightedFairScheduler",
+    "WeightedFairScheduler",
+    "FIFOScheduler",
+    "GrapheneScheduler",
+    "RandomScheduler",
+    "SJFCPScheduler",
+    "TetrisScheduler",
+]

@@ -1,0 +1,70 @@
+"""Scheduler interface shared by Decima and all baseline heuristics.
+
+A scheduler is a policy mapping an :class:`~repro.simulator.Observation` to an
+:class:`~repro.simulator.Action` (stage, parallelism limit, optional executor
+class).  The environment keeps invoking the scheduler while free executors and
+schedulable stages remain at the current instant, exactly as the paper's agent
+is invoked (§5.2).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from ..simulator.environment import Action, Observation
+from ..simulator.executor import ExecutorClass
+from ..simulator.jobdag import JobDAG, Node, critical_path_value
+
+__all__ = ["Scheduler", "critical_path_node", "best_fit_class", "runnable_by_job"]
+
+
+class Scheduler(ABC):
+    """Base class for scheduling policies."""
+
+    name = "scheduler"
+
+    def reset(self) -> None:
+        """Clear per-episode state (called before every episode)."""
+
+    @abstractmethod
+    def schedule(self, observation: Observation) -> Optional[Action]:
+        """Return the next scheduling action, or ``None`` to leave executors idle."""
+
+
+def runnable_by_job(observation: Observation) -> dict[JobDAG, list[Node]]:
+    """Group the schedulable stages of the observation by job."""
+    grouped: dict[JobDAG, list[Node]] = {}
+    for node in observation.schedulable_nodes:
+        grouped.setdefault(node.job, []).append(node)
+    return grouped
+
+
+def critical_path_node(nodes: list[Node]) -> Node:
+    """The schedulable stage with the largest downstream critical-path work.
+
+    This is the "next stage on its critical path" rule used by the SJF-CP
+    baseline (§7.1) and by Graphene* as a tie-breaker.
+    """
+    if not nodes:
+        raise ValueError("no schedulable nodes to choose from")
+    cache: dict = {}
+    return max(nodes, key=lambda node: critical_path_value(node, cache))
+
+
+def best_fit_class(observation: Observation, node: Node) -> Optional[ExecutorClass]:
+    """Smallest free executor class that satisfies the node's resource request.
+
+    Returns ``None`` when the cluster has a single executor class (the
+    standalone setting) so the environment's default selection applies.
+    """
+    if len(observation.executor_classes) <= 1:
+        return None
+    fitting = [
+        cls
+        for cls, count in observation.free_executors_by_class.items()
+        if count > 0 and cls.fits(node)
+    ]
+    if not fitting:
+        return None
+    return min(fitting, key=lambda cls: (cls.memory, cls.cpu))

@@ -1,0 +1,103 @@
+"""Fair-sharing baselines (baselines 3-5 of §7.1).
+
+* :class:`FairScheduler` — each active job gets an equal share of the
+  executors; runnable branches within a job are drained round-robin.
+* :class:`NaiveWeightedFairScheduler` — executor shares proportional to each
+  job's total work (``alpha = 1``).
+* :class:`WeightedFairScheduler` — shares proportional to ``T_i ** alpha``;
+  sweeping ``alpha`` in ``{-2, -1.9, ..., 2}`` and picking the best gives the
+  paper's "optimally tuned weighted fair" heuristic (the strongest baseline).
+
+All three are work-conserving: when every job already holds its share, the
+remaining free executors are given to the job with the largest deficit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..simulator.environment import Action, Observation
+from ..simulator.jobdag import JobDAG, Node
+from .base import Scheduler, best_fit_class, runnable_by_job
+
+__all__ = [
+    "FairScheduler",
+    "NaiveWeightedFairScheduler",
+    "WeightedFairScheduler",
+    "ALPHA_SWEEP",
+]
+
+#: The paper sweeps alpha over {-2, -1.9, ..., 2} to tune the weighted fair heuristic.
+ALPHA_SWEEP = tuple(np.round(np.arange(-2.0, 2.0 + 1e-9, 0.1), 1))
+
+
+class WeightedFairScheduler(Scheduler):
+    """Weighted fair sharing with executor shares proportional to ``T_i ** alpha``."""
+
+    name = "weighted_fair"
+
+    def __init__(self, alpha: float = 0.0):
+        self.alpha = float(alpha)
+        self._round_robin: dict[int, int] = {}
+
+    def reset(self) -> None:
+        self._round_robin = {}
+
+    # ------------------------------------------------------------------ shares
+    def _shares(self, observation: Observation) -> dict[JobDAG, float]:
+        jobs = observation.job_dags
+        if not jobs:
+            return {}
+        weights = np.array([max(job.total_work, 1e-6) ** self.alpha for job in jobs])
+        weights = weights / weights.sum()
+        return {job: float(w * observation.total_executors) for job, w in zip(jobs, weights)}
+
+    def _pick_branch(self, job: JobDAG, nodes: list[Node]) -> Node:
+        """Round-robin over a job's runnable branches to drain them concurrently."""
+        nodes = sorted(nodes, key=lambda node: node.node_id)
+        cursor = self._round_robin.get(job.job_id, 0)
+        node = nodes[cursor % len(nodes)]
+        self._round_robin[job.job_id] = cursor + 1
+        return node
+
+    def schedule(self, observation: Observation) -> Optional[Action]:
+        grouped = runnable_by_job(observation)
+        if not grouped:
+            return None
+        shares = self._shares(observation)
+        # Job with the largest deficit (share - held executors) gets the next executors.
+        def deficit(job: JobDAG) -> float:
+            return shares.get(job, 0.0) - job.num_active_executors
+
+        job = max(grouped, key=lambda j: (deficit(j), -j.arrival_time, -j.job_id))
+        node = self._pick_branch(job, grouped[job])
+        target = int(np.ceil(shares.get(job, 1.0)))
+        if deficit(job) <= 0:
+            # Work conserving: everyone has its share, so allow this job to grow.
+            target = job.num_active_executors + 1
+        limit = max(target, job.num_active_executors + 1)
+        return Action(
+            node=node,
+            parallelism_limit=limit,
+            executor_class=best_fit_class(observation, node),
+        )
+
+
+class FairScheduler(WeightedFairScheduler):
+    """Simple (unweighted) fair sharing: equal executor shares (``alpha = 0``)."""
+
+    name = "fair"
+
+    def __init__(self):
+        super().__init__(alpha=0.0)
+
+
+class NaiveWeightedFairScheduler(WeightedFairScheduler):
+    """Weighted fair sharing with shares proportional to total work (``alpha = 1``)."""
+
+    name = "naive_weighted_fair"
+
+    def __init__(self):
+        super().__init__(alpha=1.0)

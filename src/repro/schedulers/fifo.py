@@ -1,0 +1,36 @@
+"""Spark's default FIFO scheduling (baseline 1 of §7.1).
+
+Jobs run in arrival order; each job is granted as many executors as the user
+requested (``executor_cap``, defaulting to the whole cluster).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..simulator.environment import Action, Observation
+from .base import Scheduler, best_fit_class, critical_path_node, runnable_by_job
+
+__all__ = ["FIFOScheduler"]
+
+
+class FIFOScheduler(Scheduler):
+    name = "fifo"
+
+    def __init__(self, executor_cap: Optional[int] = None):
+        self.executor_cap = executor_cap
+
+    def schedule(self, observation: Observation) -> Optional[Action]:
+        grouped = runnable_by_job(observation)
+        if not grouped:
+            return None
+        cap = self.executor_cap or observation.total_executors
+        # Earliest-arrived job first; within it, follow the critical path.
+        job = min(grouped, key=lambda j: (j.arrival_time, j.job_id))
+        node = critical_path_node(grouped[job])
+        limit = min(cap, job.num_active_executors + observation.num_free_executors)
+        return Action(
+            node=node,
+            parallelism_limit=max(limit, job.num_active_executors + 1),
+            executor_class=best_fit_class(observation, node),
+        )

@@ -1,0 +1,111 @@
+"""Graphene* — adaptation of Graphene (Grandl et al. 2016) to discrete executors.
+
+Following Appendix F of the paper, Graphene*:
+
+* detects "troublesome" stages of each DAG (stages whose duration and resource
+  demand are both unusually large),
+* suppresses the priority of a DAG's troublesome stages until *all* of them are
+  schedulable, so they can be scheduled together (the essence of Graphene's
+  offline packing plan),
+* controls parallelism with the optimally tuned weighted fair share
+  (``T_i ** alpha``), and
+* packs tasks into the best-fitting executor class.
+
+The two hyperparameters (``troublesome_threshold`` and ``alpha``) are tuned by
+grid search in the benchmark harness, mirroring the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..simulator.environment import Action, Observation
+from ..simulator.jobdag import JobDAG, Node
+from .base import Scheduler, best_fit_class, critical_path_node, runnable_by_job
+
+__all__ = ["GrapheneScheduler"]
+
+
+class GrapheneScheduler(Scheduler):
+    name = "graphene"
+
+    def __init__(self, troublesome_threshold: float = 0.7, alpha: float = -1.0):
+        if not 0.0 <= troublesome_threshold <= 1.0:
+            raise ValueError("troublesome_threshold must be in [0, 1]")
+        self.troublesome_threshold = float(troublesome_threshold)
+        self.alpha = float(alpha)
+        self._troublesome: dict[int, set[int]] = {}
+
+    def reset(self) -> None:
+        self._troublesome = {}
+
+    # --------------------------------------------------------- troublesome set
+    def _troublesome_nodes(self, job: JobDAG) -> set[int]:
+        """Stage ids whose combined duration/resource score exceeds the threshold."""
+        if job.job_id in self._troublesome:
+            return self._troublesome[job.job_id]
+        works = np.array([node.total_work for node in job.nodes], dtype=float)
+        memory = np.array([max(node.mem_request, 1e-3) for node in job.nodes], dtype=float)
+        score = (works / works.max()) * (memory / memory.max())
+        troublesome = {
+            node.node_id
+            for node, s in zip(job.nodes, score)
+            if s >= self.troublesome_threshold
+        }
+        self._troublesome[job.job_id] = troublesome
+        return troublesome
+
+    def _priority(self, job: JobDAG, node: Node) -> float:
+        """Critical-path priority, suppressed for not-yet-co-schedulable troublesome nodes."""
+        troublesome = self._troublesome_nodes(job)
+        if node.node_id in troublesome:
+            runnable_ids = {n.node_id for n in job.runnable_nodes}
+            all_ready = troublesome <= runnable_ids
+            if not all_ready:
+                return -1.0
+        from ..simulator.jobdag import critical_path_value
+
+        return critical_path_value(node)
+
+    # -------------------------------------------------------------- scheduling
+    def _share(self, observation: Observation, job: JobDAG) -> int:
+        jobs = observation.job_dags
+        weights = np.array([max(j.total_work, 1e-6) ** self.alpha for j in jobs])
+        weights = weights / weights.sum()
+        share = float(weights[jobs.index(job)] * observation.total_executors)
+        return max(1, int(np.ceil(share)))
+
+    def schedule(self, observation: Observation) -> Optional[Action]:
+        grouped = runnable_by_job(observation)
+        if not grouped:
+            return None
+        # Jobs with the largest share deficit are served first (fairness),
+        # and within a job the highest-priority (non-suppressed) stage runs.
+        best: tuple[float, float] | None = None
+        best_node: Optional[Node] = None
+        best_job: Optional[JobDAG] = None
+        for job, nodes in grouped.items():
+            deficit = self._share(observation, job) - job.num_active_executors
+            priorities = [(self._priority(job, node), node) for node in nodes]
+            positive = [(p, node) for p, node in priorities if p >= 0]
+            if positive:
+                priority, node = max(positive, key=lambda item: item[0])
+            else:
+                # Every runnable stage is a suppressed troublesome stage; fall
+                # back to the critical path so the DAG still makes progress.
+                node = critical_path_node(nodes)
+                priority = 0.0
+            key = (deficit, priority)
+            if best is None or key > best:
+                best = key
+                best_node = node
+                best_job = job
+        assert best_node is not None and best_job is not None
+        limit = max(self._share(observation, best_job), best_job.num_active_executors + 1)
+        return Action(
+            node=best_node,
+            parallelism_limit=limit,
+            executor_class=best_fit_class(observation, best_node),
+        )

@@ -1,0 +1,38 @@
+"""A uniformly random scheduling policy (sanity-check floor baseline)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..simulator.environment import Action, Observation
+from .base import Scheduler, best_fit_class
+
+__all__ = ["RandomScheduler"]
+
+
+class RandomScheduler(Scheduler):
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        self.rng = np.random.default_rng(self.seed)
+
+    def schedule(self, observation: Observation) -> Optional[Action]:
+        nodes = observation.schedulable_nodes
+        if not nodes:
+            return None
+        node = nodes[int(self.rng.integers(0, len(nodes)))]
+        job = node.job
+        limit = job.num_active_executors + int(
+            self.rng.integers(1, max(2, observation.num_free_executors + 1))
+        )
+        return Action(
+            node=node,
+            parallelism_limit=limit,
+            executor_class=best_fit_class(observation, node),
+        )

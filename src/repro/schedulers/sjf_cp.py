@@ -1,0 +1,32 @@
+"""Shortest-job-first critical-path heuristic (SJF-CP, baseline 2 of §7.1).
+
+Prioritises jobs by their total remaining work and, within the chosen job,
+runs tasks from the next stage on its critical path.  All executors are
+dedicated to the chosen job (the paper notes this is inefficient but simple).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..simulator.environment import Action, Observation
+from .base import Scheduler, best_fit_class, critical_path_node, runnable_by_job
+
+__all__ = ["SJFCPScheduler"]
+
+
+class SJFCPScheduler(Scheduler):
+    name = "sjf_cp"
+
+    def schedule(self, observation: Observation) -> Optional[Action]:
+        grouped = runnable_by_job(observation)
+        if not grouped:
+            return None
+        job = min(grouped, key=lambda j: (j.remaining_work, j.arrival_time, j.job_id))
+        node = critical_path_node(grouped[job])
+        limit = job.num_active_executors + observation.num_free_executors
+        return Action(
+            node=node,
+            parallelism_limit=limit,
+            executor_class=best_fit_class(observation, node),
+        )

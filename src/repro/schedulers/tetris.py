@@ -1,0 +1,62 @@
+"""Tetris multi-resource packing heuristic (baseline 6 of §7.1, Grandl et al. 2014).
+
+Tetris greedily schedules the stage that maximises the dot product of its
+requested resource vector and the cluster's available resource vector, and
+packs its tasks into the best-fitting executor class (Appendix F).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..simulator.environment import Action, Observation
+from ..simulator.jobdag import Node
+from .base import Scheduler, best_fit_class, runnable_by_job
+
+__all__ = ["TetrisScheduler"]
+
+
+class TetrisScheduler(Scheduler):
+    name = "tetris"
+
+    def _available_vector(self, observation: Observation) -> np.ndarray:
+        cpu = 0.0
+        memory = 0.0
+        for cls, count in observation.free_executors_by_class.items():
+            cpu += cls.cpu * count
+            memory += cls.memory * count
+        return np.array([cpu, memory])
+
+    @staticmethod
+    def _request_vector(node: Node) -> np.ndarray:
+        # In the standalone (single-resource) setting every task requests one slot.
+        cpu = node.cpu_request if node.cpu_request > 0 else 1.0
+        memory = node.mem_request if node.mem_request > 0 else 1.0
+        return np.array([cpu, memory])
+
+    def schedule(self, observation: Observation) -> Optional[Action]:
+        grouped = runnable_by_job(observation)
+        if not grouped:
+            return None
+        available = self._available_vector(observation)
+        best_node = None
+        best_score = -np.inf
+        for nodes in grouped.values():
+            for node in nodes:
+                score = float(self._request_vector(node) @ available)
+                if score > best_score:
+                    best_score = score
+                    best_node = node
+        assert best_node is not None
+        job = best_node.job
+        # Greedily grant as much parallelism as the stage's tasks need.
+        limit = job.num_active_executors + min(
+            best_node.remaining_tasks, observation.free_executors_for(best_node)
+        )
+        return Action(
+            node=best_node,
+            parallelism_limit=max(limit, job.num_active_executors + 1),
+            executor_class=best_fit_class(observation, best_node),
+        )

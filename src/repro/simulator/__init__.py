@@ -1,0 +1,34 @@
+"""Event-driven Spark-like cluster simulator (the paper's training substrate, §6.2)."""
+
+from .duration import DurationModelConfig, TaskDurationModel
+from .environment import Action, Observation, SchedulingEnvironment, SimulatorConfig
+from .executor import Executor, ExecutorClass, default_executor_class, multi_resource_classes
+from .jobdag import JobDAG, Node, Task, critical_path_value, topological_order
+from .metrics import SimulationResult, TaskRecord, average_jct, executor_utilization, makespan
+from .multi_resource import assign_memory_requests, memory_fragmentation, multi_resource_config
+
+__all__ = [
+    "Action",
+    "Observation",
+    "SchedulingEnvironment",
+    "SimulatorConfig",
+    "DurationModelConfig",
+    "TaskDurationModel",
+    "Executor",
+    "ExecutorClass",
+    "default_executor_class",
+    "multi_resource_classes",
+    "JobDAG",
+    "Node",
+    "Task",
+    "critical_path_value",
+    "topological_order",
+    "SimulationResult",
+    "TaskRecord",
+    "average_jct",
+    "makespan",
+    "executor_utilization",
+    "assign_memory_requests",
+    "memory_fragmentation",
+    "multi_resource_config",
+]

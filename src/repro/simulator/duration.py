@@ -1,0 +1,95 @@
+"""Task-duration fidelity model (§6.2).
+
+The paper's simulator captures three real-world effects that matter for
+learning good policies (and Appendix D shows omitting them hurts fidelity):
+
+1. *First-wave slowdown*: the first wave of tasks of a stage runs slower than
+   later waves (pipelined execution, JIT warm-up, TCP connection set-up).
+2. *Executor-move delay*: attaching an executor to a new job costs a JVM
+   start (2-3 s).  The engine applies this delay; this module only reports it.
+3. *Work inflation at high parallelism*: wide shuffles slow individual tasks
+   down, so running a job with many executors inflates its total work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .jobdag import JobDAG, Node
+
+__all__ = ["DurationModelConfig", "TaskDurationModel"]
+
+
+@dataclass
+class DurationModelConfig:
+    """Switches and magnitudes for the fidelity effects."""
+
+    enable_first_wave: bool = True
+    first_wave_slowdown: float = 1.3
+    enable_work_inflation: bool = True
+    enable_noise: bool = True
+    noise_sigma: float = 0.05
+    moving_delay: float = 2.5
+    enable_moving_delay: bool = True
+
+    def simplified(self) -> "DurationModelConfig":
+        """The Appendix-H simplified environment: no waves, no delays, no inflation."""
+        return DurationModelConfig(
+            enable_first_wave=False,
+            enable_work_inflation=False,
+            enable_noise=False,
+            enable_moving_delay=False,
+            moving_delay=0.0,
+        )
+
+
+class TaskDurationModel:
+    """Samples per-task durations given the scheduling context."""
+
+    def __init__(self, config: Optional[DurationModelConfig] = None, seed: int = 0):
+        self.config = config or DurationModelConfig()
+        self.rng = np.random.default_rng(seed)
+
+    def reseed(self, seed: int) -> None:
+        self.rng = np.random.default_rng(seed)
+
+    def moving_delay(self, same_job: bool) -> float:
+        """Delay before an executor can run its first task on a new job."""
+        if same_job or not self.config.enable_moving_delay:
+            return 0.0
+        return self.config.moving_delay
+
+    def sample_duration(self, node: Node, first_wave: bool, job_parallelism: int) -> float:
+        """Sample the runtime of one task of ``node``.
+
+        Parameters
+        ----------
+        first_wave:
+            True if this task belongs to the first wave of the stage.
+        job_parallelism:
+            Number of executors currently attached to the node's job; used by
+            the work-inflation model.
+        """
+        duration = node.task_duration
+        if self.config.enable_first_wave and first_wave:
+            duration *= self.config.first_wave_slowdown
+        if self.config.enable_work_inflation:
+            duration *= self.work_inflation_factor(node.job, job_parallelism)
+        if self.config.enable_noise and self.config.noise_sigma > 0:
+            duration *= float(
+                np.exp(self.rng.normal(-0.5 * self.config.noise_sigma ** 2, self.config.noise_sigma))
+            )
+        return max(duration, 1e-6)
+
+    def work_inflation_factor(self, job: Optional[JobDAG], parallelism: int) -> float:
+        """Multiplier on task duration at the given degree of parallelism.
+
+        Jobs carry their own ``work_inflation`` callable (built from their
+        parallelism speed-up curve); jobs without one see no inflation.
+        """
+        if job is None or job.work_inflation is None:
+            return 1.0
+        return float(max(job.work_inflation(max(parallelism, 1)), 1.0))

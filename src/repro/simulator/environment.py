@@ -1,0 +1,406 @@
+"""Event-driven cluster scheduling environment.
+
+This is the simulator the paper trains and evaluates Decima in (§6.2).  It
+exposes a reinforcement-learning style interface:
+
+* :meth:`SchedulingEnvironment.reset` loads a set of jobs (with arrival times)
+  and advances to the first scheduling event;
+* :meth:`SchedulingEnvironment.observe` returns an :class:`Observation` with
+  the unfinished job DAGs, the schedulable stages and executor status;
+* :meth:`SchedulingEnvironment.step` applies a scheduling :class:`Action`
+  (stage, parallelism limit, and — in the multi-resource setting — executor
+  class), advances simulated time when no further assignment is possible, and
+  returns the reward of Eq. (§5.3): ``-(t_k - t_{k-1}) * J`` for the average
+  JCT objective.
+
+Both the learned Decima agent and every baseline heuristic run against this
+same environment, so comparisons are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .duration import DurationModelConfig, TaskDurationModel
+from .executor import Executor, ExecutorClass, default_executor_class
+from .jobdag import JobDAG, Node
+from .metrics import SimulationResult, TaskRecord
+
+__all__ = ["SimulatorConfig", "Observation", "Action", "SchedulingEnvironment"]
+
+
+@dataclass
+class SimulatorConfig:
+    """Configuration of the simulated cluster.
+
+    ``executor_classes`` is a list of ``(ExecutorClass, count)`` pairs; when it
+    is ``None`` the cluster has ``num_executors`` identical executors (the
+    standalone-Spark setting of §7.2: 25 workers x 2 executors = 50 slots).
+    """
+
+    num_executors: int = 50
+    executor_classes: Optional[list[tuple[ExecutorClass, int]]] = None
+    duration: DurationModelConfig = field(default_factory=DurationModelConfig)
+    reward_mode: str = "avg_jct"  # "avg_jct" | "makespan"
+    reward_scale: float = 1e-3
+    max_time: float = math.inf
+    seed: int = 0
+
+    def build_executors(self) -> list[Executor]:
+        executors: list[Executor] = []
+        if self.executor_classes is None:
+            cls = default_executor_class()
+            for i in range(self.num_executors):
+                executors.append(Executor(i, cls))
+            return executors
+        next_id = 0
+        for cls, count in self.executor_classes:
+            for _ in range(count):
+                executors.append(Executor(next_id, cls))
+                next_id += 1
+        return executors
+
+
+@dataclass
+class Observation:
+    """Snapshot of the cluster handed to the scheduling policy."""
+
+    wall_time: float
+    job_dags: list[JobDAG]
+    schedulable_nodes: list[Node]
+    num_free_executors: int
+    free_executors_by_class: Counter
+    source_job: Optional[JobDAG]
+    total_executors: int
+    executor_classes: list[ExecutorClass]
+    num_jobs_in_system: int
+
+    def executors_of_job(self, job: JobDAG) -> int:
+        return job.num_executors
+
+    def free_executors_for(self, node: Node) -> int:
+        """Number of free executors whose class can run tasks of ``node``."""
+        return sum(
+            count
+            for cls, count in self.free_executors_by_class.items()
+            if cls.fits(node)
+        )
+
+
+@dataclass
+class Action:
+    """A scheduling decision: stage, parallelism limit, optional executor class."""
+
+    node: Optional[Node]
+    parallelism_limit: int = 1
+    executor_class: Optional[ExecutorClass] = None
+
+
+class SchedulingEnvironment:
+    """Event-driven simulator of a Spark-like cluster."""
+
+    def __init__(self, config: Optional[SimulatorConfig] = None):
+        self.config = config or SimulatorConfig()
+        if self.config.reward_mode not in ("avg_jct", "makespan"):
+            raise ValueError(f"unknown reward mode {self.config.reward_mode!r}")
+        self.duration_model = TaskDurationModel(self.config.duration, seed=self.config.seed)
+        self.executors: list[Executor] = self.config.build_executors()
+        self.executor_classes = sorted(
+            {e.executor_class for e in self.executors}, key=lambda c: (c.memory, c.cpu)
+        )
+        self._event_counter = itertools.count()
+        self._reset_state()
+
+    # ------------------------------------------------------------ life cycle
+    def _reset_state(self) -> None:
+        self.wall_time = 0.0
+        self.events: list[tuple[float, int, str, object]] = []
+        self.active_jobs: list[JobDAG] = []
+        self.finished_jobs: list[JobDAG] = []
+        self.pending_arrivals = 0
+        self.free_executor_ids: set[int] = set()
+        self.timeline: list[TaskRecord] = []
+        self.total_reward = 0.0
+        self.num_actions = 0
+        self.forced_assignments = 0
+        self.source_job: Optional[JobDAG] = None
+        self.done = False
+
+    def reset(self, jobs: Iterable[JobDAG], seed: Optional[int] = None) -> Observation:
+        """Load ``jobs`` (their ``arrival_time`` schedules them) and start the episode."""
+        self._reset_state()
+        if seed is not None:
+            self.duration_model.reseed(seed)
+        for executor in self.executors:
+            executor.reset()
+        self.free_executor_ids = {e.executor_id for e in self.executors}
+        jobs = list(jobs)
+        if not jobs:
+            raise ValueError("reset requires at least one job")
+        for job in jobs:
+            job.reset()
+            self._push_event(job.arrival_time, "job_arrival", job)
+            self.pending_arrivals += 1
+        # Advance to the first scheduling point.
+        self._advance()
+        return self.observe()
+
+    # --------------------------------------------------------------- events
+    def _push_event(self, time: float, kind: str, payload: object) -> None:
+        heapq.heappush(self.events, (time, next(self._event_counter), kind, payload))
+
+    def _num_jobs_in_system(self) -> int:
+        return len(self.active_jobs)
+
+    # ----------------------------------------------------------- observation
+    def observe(self) -> Observation:
+        free_by_class: Counter = Counter()
+        for executor_id in self.free_executor_ids:
+            free_by_class[self.executors[executor_id].executor_class] += 1
+        schedulable = self._schedulable_nodes()
+        return Observation(
+            wall_time=self.wall_time,
+            job_dags=list(self.active_jobs),
+            schedulable_nodes=schedulable,
+            num_free_executors=len(self.free_executor_ids),
+            free_executors_by_class=free_by_class,
+            source_job=self.source_job,
+            total_executors=len(self.executors),
+            executor_classes=list(self.executor_classes),
+            num_jobs_in_system=self._num_jobs_in_system(),
+        )
+
+    def _schedulable_nodes(self) -> list[Node]:
+        """Runnable stages for which at least one free executor class fits."""
+        free_classes = {self.executors[i].executor_class for i in self.free_executor_ids}
+        nodes = []
+        for job in self.active_jobs:
+            for node in job.runnable_nodes:
+                if any(cls.fits(node) for cls in free_classes):
+                    nodes.append(node)
+        return nodes
+
+    def _scheduling_point(self) -> bool:
+        return bool(self.free_executor_ids) and bool(self._schedulable_nodes())
+
+    # ------------------------------------------------------------------ step
+    def step(self, action: Optional[Action]) -> tuple[Optional[Observation], float, bool]:
+        """Apply ``action`` and return ``(observation, reward, done)``.
+
+        If executors remain free and stages remain schedulable after the
+        action, time does not advance and the reward is zero — the policy is
+        invoked again, exactly as in §5.2.  Otherwise the simulation advances
+        to the next scheduling event and the accumulated JCT penalty is
+        returned as the (negative) reward.
+        """
+        if self.done:
+            raise RuntimeError("step() called on a finished episode")
+        self.num_actions += 1
+        num_assigned = 0
+        if action is not None and action.node is not None:
+            num_assigned = self._commit(action)
+
+        reward = 0.0
+        if num_assigned == 0 or not self._scheduling_point():
+            # The action could not make progress (or exhausted the free
+            # executors): advance simulated time.
+            if num_assigned == 0 and not self.events and self._scheduling_point():
+                # The scheduler declined while the cluster is otherwise idle;
+                # force a minimal assignment to guarantee liveness.
+                self._force_assign()
+                self.forced_assignments += 1
+            # A zero-assignment action must not return the identical
+            # observation (the policy would loop forever); process at least
+            # one event so the cluster state changes.
+            reward = self._advance(force_process_event=(num_assigned == 0))
+        self.total_reward += reward
+        observation = None if self.done else self.observe()
+        return observation, reward, self.done
+
+    # ------------------------------------------------------------ scheduling
+    def _commit(self, action: Action) -> int:
+        """Assign free executors to ``action.node`` up to the parallelism limit."""
+        node = action.node
+        assert node is not None
+        job = node.job
+        if job is None or job not in self.active_jobs or not node.runnable:
+            return 0
+        limit = int(action.parallelism_limit)
+        want = limit - job.num_active_executors
+        want = min(want, node.remaining_tasks)
+        if want <= 0:
+            return 0
+        candidates = self._candidate_executors(node, action.executor_class)
+        assigned = 0
+        for executor in candidates:
+            if assigned >= want or node.saturated:
+                break
+            self._dispatch(executor, node)
+            assigned += 1
+        return assigned
+
+    def _candidate_executors(
+        self, node: Node, executor_class: Optional[ExecutorClass]
+    ) -> list[Executor]:
+        """Free executors able to run ``node``, best candidates first.
+
+        Preference order: executors already bound to the node's job (no JVM
+        restart), then the smallest-memory class that fits (reduces
+        fragmentation) — unless the action pinned a specific class.
+        """
+        free = [self.executors[i] for i in sorted(self.free_executor_ids)]
+        if executor_class is not None:
+            free = [e for e in free if e.executor_class == executor_class]
+        free = [e for e in free if e.executor_class.fits(node)]
+        free.sort(key=lambda e: (e.job is not node.job, e.executor_class.memory, e.executor_id))
+        return free
+
+    def _force_assign(self) -> None:
+        """Liveness fallback: put one free executor on some schedulable stage."""
+        for node in self._schedulable_nodes():
+            candidates = self._candidate_executors(node, None)
+            if candidates:
+                self._dispatch(candidates[0], node)
+                return
+
+    def _dispatch(self, executor: Executor, node: Node) -> None:
+        """Start the next task of ``node`` on ``executor``."""
+        job = node.job
+        assert job is not None
+        same_job = executor.job is job
+        delay = self.duration_model.moving_delay(same_job)
+        executor.bind_job(job)
+        first_wave = node.num_finished_tasks == 0 and node.first_wave_dispatched < max(
+            1, len(job.executor_ids)
+        )
+        if first_wave:
+            node.first_wave_dispatched += 1
+        task = node.dispatch_task()
+        duration = self.duration_model.sample_duration(node, first_wave, job.num_executors)
+        task.executor_id = executor.executor_id
+        task.start_time = self.wall_time + delay
+        task.finish_time = task.start_time + duration
+        executor.start_task(node, task)
+        self.free_executor_ids.discard(executor.executor_id)
+        self._push_event(task.finish_time, "task_finish", executor)
+
+    # --------------------------------------------------------------- advance
+    def _advance(self, force_process_event: bool = False) -> float:
+        """Process events until the next scheduling point (or episode end).
+
+        When ``force_process_event`` is set, at least one event is processed
+        before a scheduling point may end the loop (liveness guarantee for
+        actions that assigned nothing).
+        """
+        penalty = 0.0
+        processed_events = 0
+        while not self.done:
+            # All events at the current instant must be applied before the
+            # policy observes the state (e.g. two jobs arriving at time zero
+            # are both visible at the first scheduling event).
+            same_instant_pending = bool(self.events) and self.events[0][0] <= self.wall_time
+            if (
+                self._scheduling_point()
+                and not same_instant_pending
+                and not (force_process_event and processed_events == 0)
+            ):
+                break
+            if not self.events:
+                if self._all_work_done():
+                    self.done = True
+                elif not self._any_running_task():
+                    raise RuntimeError(
+                        "simulation deadlock: unfinished stages but no running tasks "
+                        "and no free executor can serve them"
+                    )
+                break
+            event_time = self.events[0][0]
+            if event_time >= self.config.max_time:
+                penalty += self._interval_penalty(self.config.max_time - self.wall_time)
+                self.wall_time = self.config.max_time
+                self.done = True
+                break
+            event_time, _, kind, payload = heapq.heappop(self.events)
+            penalty += self._interval_penalty(event_time - self.wall_time)
+            self.wall_time = event_time
+            processed_events += 1
+            if kind == "task_finish":
+                self._on_task_finish(payload)  # type: ignore[arg-type]
+            elif kind == "job_arrival":
+                self._on_job_arrival(payload)  # type: ignore[arg-type]
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown event kind {kind!r}")
+            if self._all_work_done() and not self.events:
+                self.done = True
+        return -penalty * self.config.reward_scale
+
+    def _interval_penalty(self, dt: float) -> float:
+        if dt <= 0:
+            return 0.0
+        if self.config.reward_mode == "makespan":
+            return dt if self.active_jobs or self.pending_arrivals else 0.0
+        return dt * self._num_jobs_in_system()
+
+    def _all_work_done(self) -> bool:
+        return not self.active_jobs and self.pending_arrivals == 0
+
+    def _any_running_task(self) -> bool:
+        return any(not executor.idle for executor in self.executors)
+
+    # ---------------------------------------------------------- event logic
+    def _on_job_arrival(self, job: JobDAG) -> None:
+        self.pending_arrivals -= 1
+        self.active_jobs.append(job)
+
+    def _on_task_finish(self, executor: Executor) -> None:
+        task = executor.finish_task()
+        node = task.node
+        job = node.job
+        assert job is not None
+        node.finish_task(task, self.wall_time)
+        self.timeline.append(
+            TaskRecord(
+                executor_id=executor.executor_id,
+                job_id=job.job_id,
+                job_name=job.name,
+                node_id=node.node_id,
+                start_time=task.start_time,
+                finish_time=task.finish_time,
+            )
+        )
+        if job.completed and job.completion_time < 0:
+            job.completion_time = self.wall_time
+            self.active_jobs.remove(job)
+            self.finished_jobs.append(job)
+            for other in self.executors:
+                if other.job is job and other.idle:
+                    other.bind_job(None)
+            executor.bind_job(None)
+            self.source_job = None
+            self.free_executor_ids.add(executor.executor_id)
+            return
+        # Keep the executor on the same stage while it has undispatched tasks
+        # (this is Spark's task-level scheduling, not an agent decision).
+        if not node.saturated:
+            self._dispatch(executor, node)
+            return
+        # The stage ran out of tasks: the executor is freed and the next
+        # observation reports its job as the locality "source".
+        self.source_job = job
+        self.free_executor_ids.add(executor.executor_id)
+
+    # ----------------------------------------------------------------- result
+    def result(self) -> SimulationResult:
+        return SimulationResult(
+            finished_jobs=list(self.finished_jobs),
+            unfinished_jobs=list(self.active_jobs),
+            timeline=list(self.timeline),
+            wall_time=self.wall_time,
+            total_reward=self.total_reward,
+            num_actions=self.num_actions,
+        )

@@ -1,0 +1,104 @@
+"""Executors and executor classes.
+
+In Spark standalone mode, an executor is a JVM slot that runs one task at a
+time and sticks to one job; moving it to another job costs a JVM restart
+(2-3 s).  The multi-resource extension (§7.3) introduces several discrete
+executor *classes* with different memory sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .jobdag import JobDAG, Node, Task
+
+__all__ = ["ExecutorClass", "Executor", "default_executor_class", "multi_resource_classes"]
+
+
+@dataclass(frozen=True)
+class ExecutorClass:
+    """A class of executors with fixed CPU and memory capacity."""
+
+    name: str
+    cpu: float = 1.0
+    memory: float = 1.0
+
+    def fits(self, node: Node) -> bool:
+        """Whether a task of ``node`` can run on executors of this class."""
+        return self.cpu >= node.cpu_request and self.memory >= node.mem_request
+
+
+def default_executor_class() -> ExecutorClass:
+    """The single executor class used in the standalone-Spark experiments."""
+    return ExecutorClass(name="standard", cpu=1.0, memory=1.0)
+
+
+def multi_resource_classes() -> list[ExecutorClass]:
+    """The four executor classes of §7.3: 1 CPU and 0.25/0.5/0.75/1.0 memory."""
+    return [
+        ExecutorClass(name="mem-0.25", cpu=1.0, memory=0.25),
+        ExecutorClass(name="mem-0.50", cpu=1.0, memory=0.50),
+        ExecutorClass(name="mem-0.75", cpu=1.0, memory=0.75),
+        ExecutorClass(name="mem-1.00", cpu=1.0, memory=1.00),
+    ]
+
+
+class Executor:
+    """A single executor slot.
+
+    Attributes
+    ----------
+    job:
+        Job the executor is currently bound to (``None`` when it has never run
+        a task or its job finished).  Moving to a different job incurs the
+        configured moving delay.
+    node / task:
+        Stage and task the executor is currently running (``None`` when idle).
+    """
+
+    def __init__(self, executor_id: int, executor_class: ExecutorClass):
+        self.executor_id = executor_id
+        self.executor_class = executor_class
+        self.job: Optional[JobDAG] = None
+        self.node: Optional[Node] = None
+        self.task: Optional[Task] = None
+
+    @property
+    def idle(self) -> bool:
+        return self.task is None
+
+    def bind_job(self, job: Optional[JobDAG]) -> None:
+        """Attach the executor to ``job`` (detaching from the previous one)."""
+        if self.job is job:
+            return
+        if self.job is not None:
+            self.job.executor_ids.discard(self.executor_id)
+        self.job = job
+        if job is not None:
+            job.executor_ids.add(self.executor_id)
+
+    def start_task(self, node: Node, task: Task) -> None:
+        if not self.idle:
+            raise RuntimeError(f"executor {self.executor_id} is already running a task")
+        self.node = node
+        self.task = task
+
+    def finish_task(self) -> Task:
+        if self.task is None:
+            raise RuntimeError(f"executor {self.executor_id} is not running a task")
+        task = self.task
+        self.task = None
+        self.node = None
+        return task
+
+    def reset(self) -> None:
+        if self.job is not None:
+            self.job.executor_ids.discard(self.executor_id)
+        self.job = None
+        self.node = None
+        self.task = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        binding = self.job.name if self.job is not None else "free"
+        return f"Executor({self.executor_id}, {self.executor_class.name}, {binding})"

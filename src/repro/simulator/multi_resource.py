@@ -1,0 +1,92 @@
+"""Helpers for the multi-dimensional resource-packing environment (§7.3).
+
+The extension over the standalone setting is small by design: the cluster has
+several discrete executor classes (1 CPU core each, memory of 0.25/0.5/0.75/1.0
+normalised units, 25% of executors per class), tasks carry a memory request,
+and the scheduling action additionally picks the executor class to use.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from .duration import DurationModelConfig
+from .environment import SimulatorConfig
+from .executor import ExecutorClass, multi_resource_classes
+from .jobdag import JobDAG
+
+__all__ = [
+    "multi_resource_config",
+    "assign_memory_requests",
+    "memory_fragmentation",
+]
+
+
+def multi_resource_config(
+    total_executors: int = 200,
+    duration: Optional[DurationModelConfig] = None,
+    reward_scale: float = 1e-3,
+    max_time: float = float("inf"),
+    seed: int = 0,
+) -> SimulatorConfig:
+    """Build a :class:`SimulatorConfig` with the paper's four executor classes.
+
+    Each class makes up 25% of the cluster (the paper's setting); any remainder
+    goes to the largest class so every executor is accounted for.
+    """
+    classes = multi_resource_classes()
+    per_class = total_executors // len(classes)
+    counts = [per_class] * len(classes)
+    counts[-1] += total_executors - per_class * len(classes)
+    return SimulatorConfig(
+        num_executors=total_executors,
+        executor_classes=list(zip(classes, counts)),
+        duration=duration or DurationModelConfig(),
+        reward_scale=reward_scale,
+        max_time=max_time,
+        seed=seed,
+    )
+
+
+def assign_memory_requests(
+    jobs: Iterable[JobDAG], seed: int = 0, low: float = 0.05, high: float = 1.0
+) -> list[JobDAG]:
+    """Sample each stage's memory request uniformly from ``(low, high]``.
+
+    The TPC-H multi-resource experiment samples each DAG node's memory request
+    from ``(0, 1]``; the Alibaba-style generator produces its own requests.
+    """
+    rng = np.random.default_rng(seed)
+    jobs = list(jobs)
+    for job in jobs:
+        for node in job.nodes:
+            node.mem_request = float(rng.uniform(low, high))
+    return jobs
+
+
+def memory_fragmentation(timeline, executors) -> float:
+    """Average unused memory fraction on busy executors (Tetris vs Decima trade-off).
+
+    For every completed task, the wasted memory is the executor memory minus
+    the task's request; the metric is the work-weighted average waste divided
+    by the executor memory.
+    """
+    executor_memory = {e.executor_id: e.executor_class.memory for e in executors}
+    node_request: dict[tuple[int, int], float] = {}
+    total_weighted_waste = 0.0
+    total_work = 0.0
+    for record in timeline:
+        memory = executor_memory.get(record.executor_id)
+        if memory is None:
+            continue
+        request = node_request.get((record.job_id, record.node_id), None)
+        # Task records do not carry the request; callers populate ``node_request``
+        # implicitly via job objects when needed.  Without it, assume zero request.
+        waste = memory - (request or 0.0)
+        total_weighted_waste += max(waste, 0.0) / memory * record.duration
+        total_work += record.duration
+    if total_work == 0:
+        return 0.0
+    return total_weighted_waste / total_work

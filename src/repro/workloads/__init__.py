@@ -1,0 +1,41 @@
+"""Workload generators: TPC-H-like queries, Alibaba-like trace, arrival processes."""
+
+from .alibaba import sample_alibaba_job, sample_alibaba_jobs, split_trace
+from .arrivals import batched_arrivals, estimate_cluster_load, poisson_arrivals, trace_arrivals
+from .generator import chain_job, fork_join_job, random_dag_edges, random_job
+from .scaling import ScalingProfile, estimated_runtime, runtime_vs_parallelism
+from .tpch import (
+    TPCH_INPUT_SIZES_GB,
+    TPCH_QUERY_IDS,
+    QueryTemplate,
+    StageTemplate,
+    make_tpch_job,
+    sample_tpch_jobs,
+    total_work_of,
+    tpch_query_template,
+)
+
+__all__ = [
+    "sample_alibaba_job",
+    "sample_alibaba_jobs",
+    "split_trace",
+    "batched_arrivals",
+    "poisson_arrivals",
+    "trace_arrivals",
+    "estimate_cluster_load",
+    "chain_job",
+    "fork_join_job",
+    "random_dag_edges",
+    "random_job",
+    "ScalingProfile",
+    "estimated_runtime",
+    "runtime_vs_parallelism",
+    "TPCH_INPUT_SIZES_GB",
+    "TPCH_QUERY_IDS",
+    "QueryTemplate",
+    "StageTemplate",
+    "make_tpch_job",
+    "sample_tpch_jobs",
+    "total_work_of",
+    "tpch_query_template",
+]

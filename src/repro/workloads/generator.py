@@ -1,0 +1,73 @@
+"""Random DAG generators used for property tests and the Appendix-E study."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..simulator.jobdag import JobDAG, Node
+
+__all__ = ["random_dag_edges", "random_job", "chain_job", "fork_join_job"]
+
+
+def random_dag_edges(
+    num_nodes: int, rng: np.random.Generator, edge_probability: float = 0.3
+) -> list[tuple[int, int]]:
+    """Random edges respecting the node-index order (hence acyclic)."""
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    edges = []
+    for dst in range(1, num_nodes):
+        has_parent = False
+        for src in range(dst):
+            if rng.random() < edge_probability:
+                edges.append((src, dst))
+                has_parent = True
+        if not has_parent and rng.random() < 0.7:
+            edges.append((int(rng.integers(0, dst)), dst))
+    return edges
+
+
+def random_job(
+    num_nodes: int,
+    rng: np.random.Generator,
+    edge_probability: float = 0.3,
+    max_tasks: int = 20,
+    max_duration: float = 10.0,
+    name: Optional[str] = None,
+) -> JobDAG:
+    """A random job DAG with uniform task counts and durations."""
+    nodes = [
+        Node(
+            node_id=i,
+            num_tasks=int(rng.integers(1, max_tasks + 1)),
+            task_duration=float(rng.uniform(0.5, max_duration)),
+        )
+        for i in range(num_nodes)
+    ]
+    edges = random_dag_edges(num_nodes, rng, edge_probability)
+    return JobDAG(nodes=nodes, edges=edges, name=name or f"random-{num_nodes}")
+
+
+def chain_job(
+    num_nodes: int, num_tasks: int = 4, task_duration: float = 1.0, name: str = "chain"
+) -> JobDAG:
+    """A linear chain of stages (worst case for parallelism)."""
+    nodes = [Node(i, num_tasks, task_duration) for i in range(num_nodes)]
+    edges = [(i, i + 1) for i in range(num_nodes - 1)]
+    return JobDAG(nodes=nodes, edges=edges, name=name)
+
+
+def fork_join_job(
+    num_branches: int, tasks_per_branch: int = 4, task_duration: float = 1.0, name: str = "forkjoin"
+) -> JobDAG:
+    """A fork-join DAG: one source, ``num_branches`` parallel stages, one sink."""
+    nodes = [Node(0, 1, task_duration, name="source")]
+    for branch in range(num_branches):
+        nodes.append(Node(branch + 1, tasks_per_branch, task_duration, name=f"branch-{branch}"))
+    sink_id = num_branches + 1
+    nodes.append(Node(sink_id, 1, task_duration, name="sink"))
+    edges = [(0, branch + 1) for branch in range(num_branches)]
+    edges += [(branch + 1, sink_id) for branch in range(num_branches)]
+    return JobDAG(nodes=nodes, edges=edges, name=name)

@@ -1,0 +1,95 @@
+"""Unit tests for softmax helpers used by the policy network."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Tensor,
+    entropy_from_log_probs,
+    log_softmax,
+    masked_log_softmax,
+    masked_softmax,
+    softmax,
+)
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        logits = Tensor([1.0, 2.0, 3.0])
+        probs = softmax(logits)
+        assert probs.data.sum() == pytest.approx(1.0)
+
+    def test_matches_reference(self):
+        logits = np.array([0.5, -1.0, 2.0])
+        expected = np.exp(logits) / np.exp(logits).sum()
+        assert np.allclose(softmax(Tensor(logits)).data, expected)
+
+    def test_large_logits_are_stable(self):
+        probs = softmax(Tensor([1000.0, 1001.0]))
+        assert np.all(np.isfinite(probs.data))
+        assert probs.data.sum() == pytest.approx(1.0)
+
+    def test_log_softmax_consistency(self):
+        logits = Tensor(np.array([0.3, -0.7, 1.9]))
+        assert np.allclose(log_softmax(logits).data, np.log(softmax(logits).data))
+
+    def test_gradient_of_selected_log_prob(self):
+        logits = Tensor(np.array([0.1, 0.2, 0.3]), requires_grad=True)
+        log_probs = log_softmax(logits)
+        log_probs[1].backward()
+        probs = softmax(Tensor([0.1, 0.2, 0.3])).data
+        expected = -probs
+        expected[1] += 1.0
+        assert np.allclose(logits.grad, expected, atol=1e-8)
+
+    def test_2d_softmax_axis(self):
+        logits = Tensor(np.array([[1.0, 2.0], [3.0, 0.0]]))
+        probs = softmax(logits, axis=1)
+        assert np.allclose(probs.data.sum(axis=1), [1.0, 1.0])
+
+
+class TestMaskedSoftmax:
+    def test_masked_entries_near_zero(self):
+        logits = Tensor([5.0, 1.0, 1.0])
+        mask = np.array([False, True, True])
+        probs = masked_softmax(logits, mask)
+        assert probs.data[0] == pytest.approx(0.0, abs=1e-12)
+        assert probs.data[1:].sum() == pytest.approx(1.0)
+
+    def test_single_valid_entry(self):
+        probs = masked_softmax(Tensor([1.0, 2.0, 3.0]), np.array([False, False, True]))
+        assert probs.data[2] == pytest.approx(1.0)
+
+    def test_all_masked_raises(self):
+        with pytest.raises(ValueError):
+            masked_softmax(Tensor([1.0, 2.0]), np.array([False, False]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            masked_softmax(Tensor([1.0, 2.0]), np.array([True]))
+
+    def test_masked_log_softmax_matches_restricted_softmax(self):
+        logits = np.array([0.4, 1.2, -0.3, 2.0])
+        mask = np.array([True, False, True, True])
+        log_probs = masked_log_softmax(Tensor(logits), mask)
+        restricted = logits[mask]
+        expected = restricted - np.log(np.exp(restricted - restricted.max()).sum()) - restricted.max()
+        assert np.allclose(log_probs.data[mask], expected, atol=1e-6)
+
+
+class TestEntropy:
+    def test_uniform_distribution_entropy(self):
+        log_probs = log_softmax(Tensor(np.zeros(4)))
+        entropy = entropy_from_log_probs(log_probs)
+        assert entropy.item() == pytest.approx(np.log(4), abs=1e-6)
+
+    def test_deterministic_distribution_entropy_is_zero(self):
+        log_probs = masked_log_softmax(Tensor([10.0, 0.0]), np.array([True, False]))
+        entropy = entropy_from_log_probs(log_probs, np.array([True, False]))
+        assert entropy.item() == pytest.approx(0.0, abs=1e-3)
+
+    def test_entropy_is_differentiable(self):
+        logits = Tensor(np.array([0.5, -0.5]), requires_grad=True)
+        entropy_from_log_probs(log_softmax(logits)).backward()
+        assert logits.grad is not None
+        assert np.all(np.isfinite(logits.grad))

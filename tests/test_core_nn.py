@@ -1,0 +1,120 @@
+"""Unit tests for the dense / MLP / Adam building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core.nn import MLP, Adam, Dense, Module, Parameter, glorot_init
+
+
+class TestDense:
+    def test_output_shape(self):
+        layer = Dense(4, 3, np.random.default_rng(0))
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_parameters_found(self):
+        layer = Dense(4, 3, np.random.default_rng(0))
+        params = layer.parameters()
+        assert len(params) == 2
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_glorot_bounds(self):
+        weights = glorot_init(np.random.default_rng(0), 10, 20)
+        limit = np.sqrt(6.0 / 30)
+        assert np.all(np.abs(weights) <= limit)
+        assert weights.shape == (10, 20)
+
+
+class TestMLP:
+    def test_default_hidden_sizes_match_paper(self):
+        mlp = MLP(5, 1, np.random.default_rng(0))
+        sizes = [layer.weight.shape for layer in mlp.layers]
+        assert sizes == [(5, 32), (32, 16), (16, 1)]
+
+    def test_forward_shape(self):
+        mlp = MLP(6, 8, np.random.default_rng(0), hidden_sizes=(4,))
+        out = mlp(Tensor(np.ones((3, 6))))
+        assert out.shape == (3, 8)
+
+    def test_output_activations(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.random.default_rng(1).normal(size=(4, 3)))
+        tanh_out = MLP(3, 2, rng, output_activation="tanh")(x)
+        assert np.all(np.abs(tanh_out.data) <= 1.0)
+        sigmoid_out = MLP(3, 2, rng, output_activation="sigmoid")(x)
+        assert np.all((sigmoid_out.data >= 0) & (sigmoid_out.data <= 1))
+
+    def test_unknown_activation_raises(self):
+        mlp = MLP(3, 2, np.random.default_rng(0), output_activation="bogus")
+        with pytest.raises(ValueError):
+            mlp(Tensor(np.ones((1, 3))))
+
+    def test_gradients_reach_all_layers(self):
+        mlp = MLP(3, 1, np.random.default_rng(0))
+        out = mlp(Tensor(np.ones((2, 3)))).sum()
+        out.backward()
+        assert all(p.grad is not None for p in mlp.parameters())
+
+
+class TestModule:
+    def test_nested_parameter_collection(self):
+        class Outer(Module):
+            def __init__(self):
+                rng = np.random.default_rng(0)
+                self.a = Dense(2, 2, rng)
+                self.items = [Dense(2, 2, rng), Dense(2, 2, rng)]
+                self.mapping = {"x": Dense(2, 2, rng)}
+
+        outer = Outer()
+        assert len(outer.parameters()) == 8
+
+    def test_state_dict_roundtrip(self):
+        mlp = MLP(3, 2, np.random.default_rng(0))
+        other = MLP(3, 2, np.random.default_rng(99))
+        other.load_state_dict(mlp.state_dict())
+        for p, q in zip(mlp.parameters(), other.parameters()):
+            assert np.allclose(p.data, q.data)
+
+    def test_state_dict_mismatch_raises(self):
+        mlp = MLP(3, 2, np.random.default_rng(0))
+        small = MLP(3, 2, np.random.default_rng(0), hidden_sizes=(4,))
+        with pytest.raises(ValueError):
+            small.load_state_dict(mlp.state_dict())
+
+    def test_zero_grad(self):
+        mlp = MLP(2, 1, np.random.default_rng(0))
+        mlp(Tensor(np.ones((1, 2)))).sum().backward()
+        mlp.zero_grad()
+        assert all(p.grad is None for p in mlp.parameters())
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        target = np.array([3.0, -2.0])
+        param = Parameter(np.zeros(2))
+        optimizer = Adam([param], learning_rate=0.1)
+        for _ in range(300):
+            param.zero_grad()
+            loss = ((param - Tensor(target)) ** 2).sum()
+            loss.backward()
+            optimizer.step()
+        assert np.allclose(param.data, target, atol=1e-2)
+
+    def test_skips_parameters_without_gradient(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = Adam([param])
+        optimizer.step()
+        assert np.allclose(param.data, [1.0])
+
+    def test_apply_gradients_validates_length(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = Adam([param])
+        with pytest.raises(ValueError):
+            optimizer.apply_gradients([np.array([1.0]), np.array([2.0])])
+
+    def test_apply_gradients_moves_parameters(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = Adam([param], learning_rate=0.5)
+        optimizer.apply_gradients([np.array([1.0])])
+        assert param.data[0] < 1.0

@@ -1,0 +1,207 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autograd import Tensor, masked_softmax, segment_sum, softmax
+from repro.simulator import (
+    DurationModelConfig,
+    SchedulingEnvironment,
+    SimulatorConfig,
+    critical_path_value,
+    topological_order,
+)
+from repro.simulator.environment import Action
+from repro.workloads import ScalingProfile, estimated_runtime, random_job
+
+SETTINGS = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+finite_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=6),
+    elements=st.floats(-10, 10, allow_nan=False),
+)
+
+
+class TestAutogradProperties:
+    @SETTINGS
+    @given(finite_arrays)
+    def test_sum_gradient_is_ones(self, data):
+        x = Tensor(data, requires_grad=True)
+        x.sum().backward()
+        assert np.allclose(x.grad, np.ones_like(data))
+
+    @SETTINGS
+    @given(finite_arrays, finite_arrays)
+    def test_addition_is_commutative(self, a, b):
+        if a.shape != b.shape:
+            return
+        assert np.allclose((Tensor(a) + Tensor(b)).data, (Tensor(b) + Tensor(a)).data)
+
+    @SETTINGS
+    @given(hnp.arrays(dtype=np.float64, shape=st.integers(1, 8),
+                      elements=st.floats(-20, 20, allow_nan=False)))
+    def test_softmax_is_a_distribution(self, logits):
+        probs = softmax(Tensor(logits)).data
+        assert probs.sum() == pytest.approx(1.0, abs=1e-9)
+        assert np.all(probs >= 0)
+
+    @SETTINGS
+    @given(
+        hnp.arrays(dtype=np.float64, shape=st.integers(2, 8),
+                   elements=st.floats(-20, 20, allow_nan=False)),
+        st.data(),
+    )
+    def test_masked_softmax_zeroes_masked_entries(self, logits, data):
+        mask = np.array(
+            data.draw(st.lists(st.booleans(), min_size=len(logits), max_size=len(logits)))
+        )
+        if not mask.any():
+            mask[0] = True
+        probs = masked_softmax(Tensor(logits), mask).data
+        assert np.all(probs[~mask] < 1e-8)
+        assert probs.sum() == pytest.approx(1.0, abs=1e-8)
+
+    @SETTINGS
+    @given(
+        hnp.arrays(dtype=np.float64, shape=st.tuples(st.integers(1, 10), st.integers(1, 4)),
+                   elements=st.floats(-5, 5, allow_nan=False)),
+        st.data(),
+    )
+    def test_segment_sum_conserves_total(self, matrix, data):
+        num_segments = data.draw(st.integers(1, 4))
+        ids = np.array(
+            data.draw(
+                st.lists(
+                    st.integers(0, num_segments - 1),
+                    min_size=matrix.shape[0],
+                    max_size=matrix.shape[0],
+                )
+            )
+        )
+        out = segment_sum(Tensor(matrix), ids, num_segments).data
+        assert np.allclose(out.sum(axis=0), matrix.sum(axis=0))
+
+
+class TestDagProperties:
+    @SETTINGS
+    @given(st.integers(2, 12), st.integers(0, 10_000))
+    def test_random_jobs_are_acyclic_and_connected_enough(self, num_nodes, seed):
+        job = random_job(num_nodes, np.random.default_rng(seed))
+        order = topological_order(job.nodes)
+        assert len(order) == num_nodes
+        positions = {id(node): i for i, node in enumerate(order)}
+        for node in job.nodes:
+            for child in node.children:
+                assert positions[id(node)] < positions[id(child)]
+
+    @SETTINGS
+    @given(st.integers(2, 12), st.integers(0, 10_000))
+    def test_critical_path_bounds(self, num_nodes, seed):
+        job = random_job(num_nodes, np.random.default_rng(seed))
+        cp = job.critical_path()
+        max_single = max(node.total_work for node in job.nodes)
+        assert cp >= max_single - 1e-9
+        assert cp <= job.total_work + 1e-9
+
+    @SETTINGS
+    @given(st.integers(2, 10), st.integers(0, 10_000))
+    def test_critical_path_decreases_down_the_dag(self, num_nodes, seed):
+        job = random_job(num_nodes, np.random.default_rng(seed))
+        cache = {}
+        for node in job.nodes:
+            for child in node.children:
+                assert critical_path_value(node, cache) >= critical_path_value(child, cache)
+
+
+class TestScalingProperties:
+    @SETTINGS
+    @given(
+        st.floats(10, 10_000),
+        st.floats(2, 80),
+        st.floats(0.5, 0.99),
+        st.floats(0.0, 1.0),
+        st.integers(1, 200),
+    )
+    def test_runtime_is_positive_and_bounded_by_serial_time(
+        self, work, sweet_spot, parallel_fraction, inflation, parallelism
+    ):
+        profile = ScalingProfile(sweet_spot, parallel_fraction, inflation)
+        runtime = estimated_runtime(work, profile, parallelism)
+        assert runtime > 0
+        assert runtime <= work * profile.work_inflation(parallelism) + 1e-6
+
+    @SETTINGS
+    @given(st.floats(2, 80), st.floats(0.0, 1.0), st.integers(1, 400))
+    def test_inflation_is_at_least_one_and_monotone(self, sweet_spot, rate, parallelism):
+        profile = ScalingProfile(sweet_spot=sweet_spot, inflation_rate=rate)
+        assert profile.work_inflation(parallelism) >= 1.0
+        assert profile.work_inflation(parallelism + 5) >= profile.work_inflation(parallelism)
+
+
+class TestSimulatorProperties:
+    @SETTINGS
+    @given(st.integers(2, 6), st.integers(1, 6), st.integers(0, 1000))
+    def test_every_task_runs_exactly_once(self, num_nodes, num_executors, seed):
+        rng = np.random.default_rng(seed)
+        job = random_job(num_nodes, rng, max_tasks=5, max_duration=3.0)
+        config = SimulatorConfig(
+            num_executors=num_executors,
+            duration=DurationModelConfig().simplified(),
+            seed=seed,
+        )
+        env = SchedulingEnvironment(config)
+        observation = env.reset([job])
+        done = False
+        while not done:
+            node = observation.schedulable_nodes[0]
+            observation, _, done = env.step(
+                Action(node=node, parallelism_limit=num_executors)
+            )
+        result = env.result()
+        assert result.all_finished
+        assert len(result.timeline) == sum(node.num_tasks for node in job.nodes)
+        # Stage dependencies are respected in the timeline.
+        finish_by_stage = {}
+        for record in result.timeline:
+            finish_by_stage[record.node_id] = max(
+                finish_by_stage.get(record.node_id, 0.0), record.finish_time
+            )
+        for node in job.nodes:
+            for child in node.children:
+                child_start = min(
+                    record.start_time
+                    for record in result.timeline
+                    if record.node_id == child.node_id
+                )
+                assert child_start >= finish_by_stage[node.node_id] - 1e-9
+
+    @SETTINGS
+    @given(st.integers(2, 5), st.integers(0, 1000))
+    def test_makespan_never_below_critical_path_time(self, num_nodes, seed):
+        """With one task per wave per executor, the makespan is at least the
+        longest chain of task durations (a lower bound on any schedule)."""
+        rng = np.random.default_rng(seed)
+        job = random_job(num_nodes, rng, max_tasks=3, max_duration=2.0)
+        config = SimulatorConfig(
+            num_executors=4, duration=DurationModelConfig().simplified(), seed=seed
+        )
+        env = SchedulingEnvironment(config)
+        observation = env.reset([job])
+        done = False
+        while not done:
+            node = observation.schedulable_nodes[0]
+            observation, _, done = env.step(Action(node=node, parallelism_limit=4))
+        result = env.result()
+
+        def chain_duration(node):
+            best_child = max((chain_duration(child) for child in node.children), default=0.0)
+            return node.task_duration + best_child
+
+        lower_bound = max(chain_duration(node) for node in job.nodes if not node.parents)
+        assert result.makespan >= lower_bound - 1e-6

@@ -1,0 +1,239 @@
+"""Unit tests for the baseline scheduling heuristics (§7.1)."""
+
+import numpy as np
+import pytest
+
+from repro.schedulers import (
+    ALPHA_SWEEP,
+    FairScheduler,
+    FIFOScheduler,
+    GrapheneScheduler,
+    NaiveWeightedFairScheduler,
+    RandomScheduler,
+    SJFCPScheduler,
+    StaticOrderScheduler,
+    TetrisScheduler,
+    WeightedFairScheduler,
+    critical_path_node,
+    exhaustive_search,
+)
+from repro.simulator import (
+    DurationModelConfig,
+    SchedulingEnvironment,
+    SimulatorConfig,
+    multi_resource_config,
+)
+from repro.simulator.multi_resource import assign_memory_requests
+from repro.workloads import batched_arrivals, chain_job, sample_tpch_jobs
+from repro.experiments.runner import run_scheduler_on_jobs, tune_weighted_fair
+
+
+def make_observation(num_jobs=3, num_executors=10, seed=0):
+    """Build a live observation from a freshly reset environment."""
+    rng = np.random.default_rng(seed)
+    jobs = batched_arrivals(sample_tpch_jobs(num_jobs, rng, sizes=(2.0, 5.0)))
+    env = SchedulingEnvironment(SimulatorConfig(num_executors=num_executors, seed=seed))
+    observation = env.reset(jobs)
+    return env, observation
+
+
+ALL_SCHEDULERS = [
+    FIFOScheduler,
+    SJFCPScheduler,
+    FairScheduler,
+    NaiveWeightedFairScheduler,
+    lambda: WeightedFairScheduler(alpha=-1.0),
+    GrapheneScheduler,
+    TetrisScheduler,
+    RandomScheduler,
+]
+
+
+class TestSchedulerContract:
+    @pytest.mark.parametrize("factory", ALL_SCHEDULERS)
+    def test_returns_valid_action_on_live_observation(self, factory):
+        _, observation = make_observation()
+        scheduler = factory()
+        scheduler.reset()
+        action = scheduler.schedule(observation)
+        assert action is not None
+        assert action.node in observation.schedulable_nodes
+        assert action.parallelism_limit >= 1
+
+    @pytest.mark.parametrize("factory", ALL_SCHEDULERS)
+    def test_completes_a_batch(self, factory):
+        rng = np.random.default_rng(3)
+        jobs = batched_arrivals(sample_tpch_jobs(3, rng, sizes=(2.0, 5.0)))
+        result = run_scheduler_on_jobs(
+            factory(), jobs, config=SimulatorConfig(num_executors=6, seed=0), seed=1
+        )
+        assert result.all_finished
+
+
+class TestFIFO:
+    def test_prefers_earliest_arrival(self):
+        env, observation = make_observation(num_jobs=3)
+        # Shift arrival times so ordering is unambiguous.
+        for offset, job in enumerate(observation.job_dags):
+            job.arrival_time = float(offset)
+        action = FIFOScheduler().schedule(observation)
+        assert action.node.job is observation.job_dags[0]
+
+    def test_executor_cap_limits_parallelism(self):
+        _, observation = make_observation(num_jobs=1, num_executors=10)
+        action = FIFOScheduler(executor_cap=3).schedule(observation)
+        assert action.parallelism_limit <= max(3, 1)
+
+    def test_returns_none_without_schedulable_nodes(self):
+        _, observation = make_observation()
+        observation.schedulable_nodes = []
+        assert FIFOScheduler().schedule(observation) is None
+
+
+class TestSJFCP:
+    def test_prefers_smallest_remaining_work(self):
+        _, observation = make_observation(num_jobs=3)
+        smallest = min(observation.job_dags, key=lambda j: j.remaining_work)
+        action = SJFCPScheduler().schedule(observation)
+        assert action.node.job is smallest
+
+    def test_follows_critical_path_within_job(self):
+        _, observation = make_observation(num_jobs=1)
+        action = SJFCPScheduler().schedule(observation)
+        job_nodes = [n for n in observation.schedulable_nodes if n.job is action.node.job]
+        assert action.node is critical_path_node(job_nodes)
+
+
+class TestFairFamily:
+    def test_alpha_sweep_contains_paper_range(self):
+        assert min(ALPHA_SWEEP) == pytest.approx(-2.0)
+        assert max(ALPHA_SWEEP) == pytest.approx(2.0)
+        assert len(ALPHA_SWEEP) == 41
+
+    def test_simple_fair_is_alpha_zero(self):
+        assert FairScheduler().alpha == 0.0
+        assert NaiveWeightedFairScheduler().alpha == 1.0
+
+    def test_fair_spreads_executors_across_jobs(self):
+        rng = np.random.default_rng(5)
+        jobs = batched_arrivals(sample_tpch_jobs(4, rng, sizes=(10.0,)))
+        result = run_scheduler_on_jobs(
+            FairScheduler(), jobs, config=SimulatorConfig(num_executors=8, seed=0), seed=0
+        )
+        # Every job must have run at least one task before the last job finishes
+        # its first task (i.e. fair sharing rather than strict sequencing).
+        first_starts = {}
+        for record in result.timeline:
+            first_starts.setdefault(record.job_name, record.start_time)
+        assert len(first_starts) == 4
+        assert max(first_starts.values()) < result.makespan / 2
+
+    def test_weighted_fair_shares_proportional_to_weight(self):
+        from repro.workloads import make_tpch_job
+
+        jobs = batched_arrivals(
+            [make_tpch_job(9, 100.0, name="big"), make_tpch_job(9, 2.0, name="small")]
+        )
+        env = SchedulingEnvironment(SimulatorConfig(num_executors=10, seed=0))
+        observation = env.reset(jobs)
+        scheduler = WeightedFairScheduler(alpha=1.0)
+        shares = scheduler._shares(observation)
+        by_name = {job.name: shares[job] for job in observation.job_dags}
+        assert by_name["big"] > by_name["small"]
+        assert sum(shares.values()) == pytest.approx(10.0)
+
+    def test_tune_weighted_fair_picks_best_alpha(self):
+        rng = np.random.default_rng(7)
+        jobs = batched_arrivals(sample_tpch_jobs(5, rng, sizes=(2.0, 20.0)))
+        config = SimulatorConfig(num_executors=10, seed=0)
+        best, best_jct, by_alpha = tune_weighted_fair(
+            jobs, config=config, alphas=(-1.0, 0.0, 1.0)
+        )
+        assert best_jct == pytest.approx(min(by_alpha.values()))
+        assert by_alpha[best.alpha] == pytest.approx(best_jct)
+
+
+class TestTetrisAndGraphene:
+    def test_tetris_picks_schedulable_node(self):
+        config = multi_resource_config(total_executors=8, seed=0)
+        rng = np.random.default_rng(0)
+        jobs = batched_arrivals(sample_tpch_jobs(3, rng, sizes=(2.0, 5.0)))
+        assign_memory_requests(jobs, seed=0)
+        env = SchedulingEnvironment(config)
+        observation = env.reset(jobs)
+        action = TetrisScheduler().schedule(observation)
+        assert action.node in observation.schedulable_nodes
+        assert action.executor_class is None or action.executor_class.fits(action.node)
+
+    def test_graphene_troublesome_detection(self):
+        rng = np.random.default_rng(1)
+        jobs = sample_tpch_jobs(1, rng, sizes=(100.0,))
+        scheduler = GrapheneScheduler(troublesome_threshold=0.5)
+        troublesome = scheduler._troublesome_nodes(jobs[0])
+        assert troublesome  # the biggest stage always has score 1.0 >= threshold
+        all_ids = {node.node_id for node in jobs[0].nodes}
+        assert troublesome <= all_ids
+
+    def test_graphene_threshold_validation(self):
+        with pytest.raises(ValueError):
+            GrapheneScheduler(troublesome_threshold=1.5)
+
+    def test_graphene_completes_multi_resource_batch(self):
+        config = multi_resource_config(total_executors=8, seed=0)
+        rng = np.random.default_rng(2)
+        jobs = batched_arrivals(sample_tpch_jobs(3, rng, sizes=(2.0, 5.0)))
+        assign_memory_requests(jobs, seed=1)
+        result = run_scheduler_on_jobs(GrapheneScheduler(), jobs, config=config, seed=0)
+        assert result.all_finished
+
+
+class TestStaticOrderAndExhaustive:
+    def test_static_order_respects_given_order(self):
+        jobs = [
+            chain_job(1, num_tasks=4, task_duration=1.0, name="late"),
+            chain_job(1, num_tasks=4, task_duration=1.0, name="early"),
+        ]
+        jobs = batched_arrivals(jobs)
+        config = SimulatorConfig(
+            num_executors=2, duration=DurationModelConfig().simplified(), seed=0
+        )
+        result = run_scheduler_on_jobs(StaticOrderScheduler(["early", "late"]), jobs, config=config)
+        first_start = {}
+        for record in result.timeline:
+            first_start.setdefault(record.job_name, record.start_time)
+        assert first_start["early"] < first_start["late"]
+
+    def test_exhaustive_search_finds_sjf_order(self):
+        durations = {"a": 1.0, "b": 5.0, "c": 3.0}
+
+        def evaluate(order):
+            # Average completion time of sequential jobs with the given durations.
+            completion, total = 0.0, 0.0
+            for name in order:
+                completion += durations[name]
+                total += completion
+            return total / len(order)
+
+        best_order, best_score, scores = exhaustive_search(durations, evaluate)
+        assert best_order == ("a", "c", "b")
+        assert len(scores) == 6
+        assert best_score == pytest.approx(min(scores.values()))
+
+    def test_exhaustive_search_respects_cap(self):
+        _, _, scores = exhaustive_search("abc", lambda order: 1.0, max_permutations=2)
+        assert len(scores) == 2
+
+    def test_exhaustive_search_requires_jobs(self):
+        with pytest.raises(ValueError):
+            exhaustive_search([], lambda order: 0.0)
+
+
+class TestRandomScheduler:
+    def test_reset_restores_seed(self):
+        env, observation = make_observation()
+        scheduler = RandomScheduler(seed=5)
+        first = scheduler.schedule(observation)
+        scheduler.reset()
+        second = scheduler.schedule(observation)
+        assert first.node is second.node
+        assert first.parallelism_limit == second.parallelism_limit

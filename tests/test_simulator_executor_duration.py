@@ -1,0 +1,150 @@
+"""Unit tests for executors, executor classes and the task-duration model."""
+
+import numpy as np
+import pytest
+
+from repro.simulator import (
+    DurationModelConfig,
+    Executor,
+    ExecutorClass,
+    TaskDurationModel,
+    default_executor_class,
+    multi_resource_classes,
+)
+from repro.simulator.jobdag import JobDAG, Node
+from repro.workloads import ScalingProfile, chain_job
+
+
+class TestExecutorClass:
+    def test_default_class(self):
+        cls = default_executor_class()
+        assert cls.cpu == 1.0 and cls.memory == 1.0
+
+    def test_multi_resource_classes(self):
+        classes = multi_resource_classes()
+        assert len(classes) == 4
+        assert [cls.memory for cls in classes] == [0.25, 0.5, 0.75, 1.0]
+        assert all(cls.cpu == 1.0 for cls in classes)
+
+    def test_fits_by_memory(self):
+        small = ExecutorClass("small", cpu=1.0, memory=0.25)
+        node = Node(0, 1, 1.0, mem_request=0.5)
+        assert not small.fits(node)
+        assert default_executor_class().fits(node)
+
+    def test_fits_by_cpu(self):
+        cls = ExecutorClass("c", cpu=1.0, memory=1.0)
+        node = Node(0, 1, 1.0, cpu_request=2.0)
+        assert not cls.fits(node)
+
+
+class TestExecutor:
+    def test_bind_and_rebind_job(self):
+        executor = Executor(0, default_executor_class())
+        job_a, job_b = chain_job(2, name="a"), chain_job(2, name="b")
+        executor.bind_job(job_a)
+        assert 0 in job_a.executor_ids
+        executor.bind_job(job_b)
+        assert 0 not in job_a.executor_ids
+        assert 0 in job_b.executor_ids
+
+    def test_task_lifecycle(self):
+        executor = Executor(1, default_executor_class())
+        job = chain_job(1, num_tasks=1)
+        node = job.nodes[0]
+        task = node.dispatch_task()
+        executor.start_task(node, task)
+        assert not executor.idle
+        with pytest.raises(RuntimeError):
+            executor.start_task(node, task)
+        finished = executor.finish_task()
+        assert finished is task
+        assert executor.idle
+        with pytest.raises(RuntimeError):
+            executor.finish_task()
+
+    def test_reset_detaches_job(self):
+        executor = Executor(2, default_executor_class())
+        job = chain_job(1)
+        executor.bind_job(job)
+        executor.reset()
+        assert executor.job is None
+        assert 2 not in job.executor_ids
+
+
+class TestDurationModel:
+    def make_node(self):
+        job = chain_job(1, num_tasks=4, task_duration=10.0)
+        return job.nodes[0]
+
+    def test_no_noise_is_deterministic(self):
+        model = TaskDurationModel(DurationModelConfig(enable_noise=False), seed=0)
+        node = self.make_node()
+        first = model.sample_duration(node, first_wave=False, job_parallelism=1)
+        second = model.sample_duration(node, first_wave=False, job_parallelism=1)
+        assert first == second == pytest.approx(10.0)
+
+    def test_first_wave_slowdown(self):
+        config = DurationModelConfig(enable_noise=False, first_wave_slowdown=1.5)
+        model = TaskDurationModel(config)
+        node = self.make_node()
+        slow = model.sample_duration(node, first_wave=True, job_parallelism=1)
+        fast = model.sample_duration(node, first_wave=False, job_parallelism=1)
+        assert slow == pytest.approx(1.5 * fast)
+
+    def test_first_wave_switch_off(self):
+        config = DurationModelConfig(enable_noise=False, enable_first_wave=False)
+        model = TaskDurationModel(config)
+        node = self.make_node()
+        assert model.sample_duration(node, True, 1) == pytest.approx(10.0)
+
+    def test_moving_delay(self):
+        config = DurationModelConfig(moving_delay=3.0)
+        model = TaskDurationModel(config)
+        assert model.moving_delay(same_job=True) == 0.0
+        assert model.moving_delay(same_job=False) == 3.0
+        disabled = TaskDurationModel(DurationModelConfig(enable_moving_delay=False))
+        assert disabled.moving_delay(same_job=False) == 0.0
+
+    def test_work_inflation_uses_job_curve(self):
+        profile = ScalingProfile(sweet_spot=4.0, inflation_rate=0.5)
+        nodes = [Node(0, 4, 10.0)]
+        job = JobDAG(nodes=nodes, edges=[], work_inflation=profile.work_inflation)
+        config = DurationModelConfig(enable_noise=False, enable_first_wave=False)
+        model = TaskDurationModel(config)
+        at_sweet = model.sample_duration(job.nodes[0], False, 4)
+        beyond = model.sample_duration(job.nodes[0], False, 8)
+        assert at_sweet == pytest.approx(10.0)
+        assert beyond > at_sweet
+
+    def test_inflation_disabled(self):
+        profile = ScalingProfile(sweet_spot=2.0, inflation_rate=1.0)
+        job = JobDAG(nodes=[Node(0, 2, 5.0)], edges=[], work_inflation=profile.work_inflation)
+        config = DurationModelConfig(
+            enable_noise=False, enable_first_wave=False, enable_work_inflation=False
+        )
+        model = TaskDurationModel(config)
+        assert model.sample_duration(job.nodes[0], False, 50) == pytest.approx(5.0)
+
+    def test_noise_is_multiplicative_and_positive(self):
+        model = TaskDurationModel(DurationModelConfig(noise_sigma=0.3), seed=1)
+        node = self.make_node()
+        samples = [model.sample_duration(node, False, 1) for _ in range(50)]
+        assert all(s > 0 for s in samples)
+        assert np.std(samples) > 0
+
+    def test_simplified_config(self):
+        simplified = DurationModelConfig().simplified()
+        assert not simplified.enable_first_wave
+        assert not simplified.enable_work_inflation
+        assert not simplified.enable_noise
+        assert not simplified.enable_moving_delay
+        assert simplified.moving_delay == 0.0
+
+    def test_reseed_reproducibility(self):
+        model = TaskDurationModel(DurationModelConfig(noise_sigma=0.2), seed=3)
+        node = self.make_node()
+        first = [model.sample_duration(node, False, 1) for _ in range(5)]
+        model.reseed(3)
+        second = [model.sample_duration(node, False, 1) for _ in range(5)]
+        assert first == second

@@ -1,0 +1,149 @@
+"""Unit tests for the job DAG / stage / task model."""
+
+import numpy as np
+import pytest
+
+from repro.simulator import JobDAG, Node, critical_path_value, topological_order
+from repro.workloads import chain_job, fork_join_job
+
+
+def small_diamond():
+    nodes = [
+        Node(0, num_tasks=2, task_duration=1.0, name="src"),
+        Node(1, num_tasks=3, task_duration=2.0, name="left"),
+        Node(2, num_tasks=4, task_duration=1.0, name="right"),
+        Node(3, num_tasks=1, task_duration=5.0, name="sink"),
+    ]
+    edges = [(0, 1), (0, 2), (1, 3), (2, 3)]
+    return JobDAG(nodes=nodes, edges=edges, name="diamond")
+
+
+class TestNode:
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Node(0, num_tasks=0, task_duration=1.0)
+        with pytest.raises(ValueError):
+            Node(0, num_tasks=1, task_duration=0.0)
+
+    def test_total_and_remaining_work(self):
+        node = Node(0, num_tasks=4, task_duration=2.0)
+        assert node.total_work == 8.0
+        assert node.remaining_work == 8.0
+        assert node.remaining_tasks == 4
+
+    def test_dispatch_and_finish_lifecycle(self):
+        node = Node(0, num_tasks=2, task_duration=1.0)
+        task = node.dispatch_task()
+        assert node.num_running_tasks == 1
+        assert node.remaining_tasks == 1
+        node.finish_task(task, wall_time=3.0)
+        assert node.num_finished_tasks == 1
+        assert not node.completed
+        second = node.dispatch_task()
+        assert node.saturated
+        with pytest.raises(RuntimeError):
+            node.dispatch_task()
+        node.finish_task(second, wall_time=5.0)
+        assert node.completed
+        assert node.completion_time == 5.0
+
+    def test_reset_clears_state(self):
+        node = Node(0, num_tasks=1, task_duration=1.0)
+        task = node.dispatch_task()
+        node.finish_task(task, wall_time=1.0)
+        node.reset()
+        assert node.num_finished_tasks == 0
+        assert node.remaining_tasks == 1
+        assert node.completion_time == -1.0
+
+
+class TestJobDAG:
+    def test_parent_child_wiring(self):
+        job = small_diamond()
+        by_name = {node.name: node for node in job.nodes}
+        assert by_name["sink"].parents == [by_name["left"], by_name["right"]]
+        assert by_name["src"].children == [by_name["left"], by_name["right"]]
+
+    def test_runnable_nodes_initially_roots(self):
+        job = small_diamond()
+        assert [node.name for node in job.runnable_nodes] == ["src"]
+
+    def test_total_work(self):
+        job = small_diamond()
+        assert job.total_work == pytest.approx(2 * 1 + 3 * 2 + 4 * 1 + 1 * 5)
+
+    def test_cycle_detection(self):
+        nodes = [Node(0, 1, 1.0), Node(1, 1, 1.0)]
+        with pytest.raises(ValueError):
+            JobDAG(nodes=nodes, edges=[(0, 1), (1, 0)])
+
+    def test_unknown_edge_raises(self):
+        with pytest.raises(ValueError):
+            JobDAG(nodes=[Node(0, 1, 1.0)], edges=[(0, 5)])
+
+    def test_duplicate_node_ids_raise(self):
+        with pytest.raises(ValueError):
+            JobDAG(nodes=[Node(0, 1, 1.0), Node(0, 1, 1.0)], edges=[])
+
+    def test_empty_job_raises(self):
+        with pytest.raises(ValueError):
+            JobDAG(nodes=[], edges=[])
+
+    def test_adjacency_matrix(self):
+        job = small_diamond()
+        adjacency = job.adjacency_matrix
+        assert adjacency.shape == (4, 4)
+        assert adjacency[0, 1] == 1.0 and adjacency[0, 2] == 1.0
+        assert adjacency.sum() == len(job.edges)
+
+    def test_completion_duration_requires_completion(self):
+        job = small_diamond()
+        with pytest.raises(RuntimeError):
+            job.completion_duration()
+        job.completion_time = 12.0
+        job.arrival_time = 2.0
+        assert job.completion_duration() == 10.0
+
+    def test_unique_job_ids(self):
+        a, b = chain_job(2), chain_job(2)
+        assert a.job_id != b.job_id
+
+    def test_reset(self):
+        job = small_diamond()
+        node = job.runnable_nodes[0]
+        task = node.dispatch_task()
+        node.finish_task(task, 1.0)
+        job.completion_time = 50.0
+        job.reset()
+        assert job.completion_time == -1.0
+        assert all(n.num_finished_tasks == 0 for n in job.nodes)
+
+
+class TestGraphAlgorithms:
+    def test_topological_order_respects_edges(self):
+        job = small_diamond()
+        order = topological_order(job.nodes)
+        positions = {id(node): i for i, node in enumerate(order)}
+        for node in job.nodes:
+            for child in node.children:
+                assert positions[id(node)] < positions[id(child)]
+
+    def test_critical_path_of_chain(self):
+        job = chain_job(4, num_tasks=2, task_duration=3.0)
+        assert job.critical_path() == pytest.approx(4 * 2 * 3.0)
+
+    def test_critical_path_takes_max_branch(self):
+        job = small_diamond()
+        # src(2) + left(6) + sink(5) = 13 is the heaviest path.
+        assert job.critical_path() == pytest.approx(13.0)
+
+    def test_critical_path_value_leaf(self):
+        job = small_diamond()
+        sink = job.nodes[3]
+        assert critical_path_value(sink) == pytest.approx(5.0)
+
+    def test_fork_join_structure(self):
+        job = fork_join_job(3, tasks_per_branch=2, task_duration=1.0)
+        assert job.num_nodes == 5
+        sink = job.nodes[-1]
+        assert len(sink.parents) == 3

@@ -1,0 +1,219 @@
+"""Unit tests for the TPC-H-like and Alibaba-like workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.simulator import topological_order
+from repro.workloads import (
+    TPCH_INPUT_SIZES_GB,
+    TPCH_QUERY_IDS,
+    ScalingProfile,
+    batched_arrivals,
+    estimate_cluster_load,
+    estimated_runtime,
+    make_tpch_job,
+    poisson_arrivals,
+    random_dag_edges,
+    random_job,
+    runtime_vs_parallelism,
+    sample_alibaba_jobs,
+    sample_tpch_jobs,
+    total_work_of,
+    tpch_query_template,
+    trace_arrivals,
+)
+from repro.workloads.alibaba import sample_alibaba_job, split_trace
+
+
+class TestTPCHTemplates:
+    def test_all_22_queries_have_templates(self):
+        for query_id in TPCH_QUERY_IDS:
+            template = tpch_query_template(query_id)
+            assert 3 <= template.num_stages <= 25
+            assert template.edges or template.num_stages == 1
+
+    def test_templates_are_deterministic(self):
+        first = tpch_query_template(5)
+        second = tpch_query_template(5)
+        assert first is second or first == second
+
+    def test_invalid_query_id(self):
+        with pytest.raises(ValueError):
+            tpch_query_template(23)
+        with pytest.raises(ValueError):
+            make_tpch_job(0, 10.0)
+
+    def test_templates_differ_across_queries(self):
+        shapes = {tpch_query_template(q).num_stages for q in TPCH_QUERY_IDS}
+        assert len(shapes) > 3
+
+    def test_total_work_grows_with_input_size(self):
+        template = tpch_query_template(9)
+        works = [template.total_work(size) for size in TPCH_INPUT_SIZES_GB]
+        assert all(a < b for a, b in zip(works, works[1:]))
+
+
+class TestTPCHJobs:
+    def test_job_is_valid_dag(self):
+        job = make_tpch_job(7, 20.0)
+        order = topological_order(job.nodes)
+        assert len(order) == job.num_nodes
+
+    def test_job_has_work_inflation(self):
+        job = make_tpch_job(9, 100.0)
+        assert job.work_inflation is not None
+        assert job.work_inflation(1) == pytest.approx(1.0)
+        assert job.work_inflation(500) > 1.0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            make_tpch_job(1, -5.0)
+
+    def test_sample_tpch_jobs_count_and_names(self):
+        jobs = sample_tpch_jobs(7, np.random.default_rng(0))
+        assert len(jobs) == 7
+        assert len({job.name for job in jobs}) == 7
+
+    def test_sample_requires_positive_count(self):
+        with pytest.raises(ValueError):
+            sample_tpch_jobs(0, np.random.default_rng(0))
+
+    def test_heavy_tailed_work_distribution(self):
+        jobs = sample_tpch_jobs(60, np.random.default_rng(1))
+        works = sorted((job.total_work for job in jobs), reverse=True)
+        top_quarter = sum(works[: len(works) // 4])
+        assert top_quarter / sum(works) > 0.45
+
+    def test_total_work_of(self):
+        jobs = sample_tpch_jobs(3, np.random.default_rng(2))
+        assert total_work_of(jobs) == pytest.approx(sum(j.total_work for j in jobs))
+
+
+class TestScaling:
+    def test_runtime_decreases_up_to_sweet_spot(self):
+        profile = ScalingProfile(sweet_spot=20, parallel_fraction=0.95, inflation_rate=0.4)
+        runtimes = [estimated_runtime(1000.0, profile, p) for p in (1, 5, 10, 20)]
+        assert all(a > b for a, b in zip(runtimes, runtimes[1:]))
+
+    def test_diminishing_returns_beyond_sweet_spot(self):
+        profile = ScalingProfile(sweet_spot=10, parallel_fraction=0.9, inflation_rate=0.5)
+        gain_before = estimated_runtime(1000, profile, 5) - estimated_runtime(1000, profile, 10)
+        gain_after = estimated_runtime(1000, profile, 50) - estimated_runtime(1000, profile, 100)
+        assert gain_before > gain_after
+
+    def test_work_inflation_at_or_below_sweet_spot_is_one(self):
+        profile = ScalingProfile(sweet_spot=10)
+        assert profile.work_inflation(1) == 1.0
+        assert profile.work_inflation(10) == 1.0
+        assert profile.work_inflation(20) > 1.0
+
+    def test_scaled_profile_shrinks_sweet_spot(self):
+        profile = ScalingProfile(sweet_spot=40)
+        assert profile.scaled(2.0).sweet_spot < profile.scaled(100.0).sweet_spot
+        with pytest.raises(ValueError):
+            profile.scaled(0.0)
+
+    def test_runtime_vs_parallelism_series(self):
+        profile = ScalingProfile()
+        series = runtime_vs_parallelism(500.0, profile, max_parallelism=10)
+        assert len(series) == 10
+        assert series[0][0] == 1
+        with pytest.raises(ValueError):
+            estimated_runtime(100.0, profile, 0)
+
+
+class TestAlibabaWorkload:
+    def test_stage_count_distribution(self):
+        rng = np.random.default_rng(0)
+        jobs = [sample_alibaba_job(rng) for _ in range(400)]
+        at_least_four = sum(1 for job in jobs if job.num_nodes >= 4) / len(jobs)
+        assert 0.45 <= at_least_four <= 0.75
+
+    def test_memory_requests_in_range(self):
+        rng = np.random.default_rng(1)
+        jobs = sample_alibaba_jobs(20, rng)
+        for job in jobs:
+            for node in job.nodes:
+                assert 0.0 < node.mem_request <= 1.0
+
+    def test_memory_can_be_disabled(self):
+        rng = np.random.default_rng(2)
+        job = sample_alibaba_job(rng, with_memory=False)
+        assert all(node.mem_request == 0.0 for node in job.nodes)
+
+    def test_arrivals_are_increasing(self):
+        jobs = sample_alibaba_jobs(10, np.random.default_rng(3), mean_interarrival=5.0)
+        arrivals = [job.arrival_time for job in jobs]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] == 0.0
+
+    def test_jobs_are_valid_dags(self):
+        jobs = sample_alibaba_jobs(30, np.random.default_rng(4))
+        for job in jobs:
+            assert len(topological_order(job.nodes)) == job.num_nodes
+
+    def test_split_trace_halves(self):
+        jobs = sample_alibaba_jobs(11, np.random.default_rng(5))
+        train, test = split_trace(jobs)
+        assert len(train) == 5 and len(test) == 6
+
+    def test_positive_count_required(self):
+        with pytest.raises(ValueError):
+            sample_alibaba_jobs(0, np.random.default_rng(0))
+
+
+class TestArrivalProcesses:
+    def test_batched_sets_all_to_start(self):
+        jobs = sample_tpch_jobs(4, np.random.default_rng(0))
+        batched_arrivals(jobs, start_time=7.0)
+        assert all(job.arrival_time == 7.0 for job in jobs)
+
+    def test_poisson_mean_interarrival(self):
+        jobs = sample_tpch_jobs(300, np.random.default_rng(0), sizes=(2.0,))
+        rng = np.random.default_rng(1)
+        poisson_arrivals(jobs, 10.0, rng)
+        gaps = np.diff([job.arrival_time for job in jobs])
+        assert 8.0 < gaps.mean() < 12.0
+
+    def test_poisson_requires_positive_interarrival(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals([], 0.0, np.random.default_rng(0))
+
+    def test_trace_arrivals(self):
+        jobs = sample_tpch_jobs(3, np.random.default_rng(0))
+        trace_arrivals(jobs, [1.0, 5.0, 9.0])
+        assert [job.arrival_time for job in jobs] == [1.0, 5.0, 9.0]
+        with pytest.raises(ValueError):
+            trace_arrivals(jobs, [1.0])
+        with pytest.raises(ValueError):
+            trace_arrivals(jobs, [1.0, -2.0, 3.0])
+
+    def test_estimate_cluster_load(self):
+        jobs = sample_tpch_jobs(20, np.random.default_rng(0))
+        rng = np.random.default_rng(1)
+        poisson_arrivals(jobs, 30.0, rng)
+        load = estimate_cluster_load(jobs, num_executors=50)
+        assert load > 0
+        with pytest.raises(ValueError):
+            estimate_cluster_load(jobs, num_executors=0)
+        with pytest.raises(ValueError):
+            estimate_cluster_load(batched_arrivals(jobs), num_executors=10)
+        assert estimate_cluster_load(batched_arrivals(jobs), 10, horizon=100.0) > 0
+        with pytest.raises(ValueError):
+            estimate_cluster_load([], 10)
+
+
+class TestRandomGenerators:
+    def test_random_dag_edges_are_acyclic(self):
+        rng = np.random.default_rng(0)
+        edges = random_dag_edges(10, rng, edge_probability=0.5)
+        assert all(src < dst for src, dst in edges)
+
+    def test_random_dag_requires_positive_nodes(self):
+        with pytest.raises(ValueError):
+            random_dag_edges(0, np.random.default_rng(0))
+
+    def test_random_job_valid(self):
+        job = random_job(8, np.random.default_rng(1))
+        assert job.num_nodes == 8
+        assert len(topological_order(job.nodes)) == 8
