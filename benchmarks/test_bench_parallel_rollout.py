@@ -1,0 +1,92 @@
+"""Benchmark: parallel rollout workers vs. serial episode collection (§5.3).
+
+The paper trains with 16 parallel rollout workers; this benchmark measures
+the wall-clock speedup of :class:`ParallelRolloutBackend` over the serial
+path on an identical training workload.  The ≥1.5× speedup assertion only
+applies on a multi-core machine (4+ CPUs) — on fewer cores the benchmark
+still runs both paths and reports the ratio, since process overhead can make
+parallel collection slower than serial when the workers share one core.
+"""
+
+import os
+import time
+
+from conftest import run_once
+
+from repro.core import (
+    DecimaAgent,
+    DecimaConfig,
+    ParallelRolloutBackend,
+    ReinforceTrainer,
+    SerialRolloutBackend,
+    TrainingConfig,
+)
+from repro.experiments.training import tpch_batch_factory
+from repro.simulator import SimulatorConfig
+
+NUM_WORKERS = 4
+TRAINING = dict(
+    num_iterations=2,
+    episodes_per_iteration=4,
+    initial_episode_time=1500.0,
+    max_actions_per_episode=250,
+    seed=0,
+)
+
+
+def _train(backend):
+    config = SimulatorConfig(num_executors=10, seed=0)
+    agent = DecimaAgent(total_executors=10, config=DecimaConfig(seed=0))
+    trainer = ReinforceTrainer(
+        agent,
+        config,
+        tpch_batch_factory(4, sizes=(2.0, 5.0)),
+        TrainingConfig(**TRAINING),
+        backend=backend,
+    )
+    with trainer:
+        start = time.perf_counter()
+        history = trainer.train()
+        elapsed = time.perf_counter() - start
+    return history, elapsed
+
+
+def _compare_backends():
+    serial_history, serial_time = _train(SerialRolloutBackend())
+    parallel_history, parallel_time = _train(
+        ParallelRolloutBackend(num_workers=NUM_WORKERS, seed=0)
+    )
+    return {
+        "serial_time": serial_time,
+        "parallel_time": parallel_time,
+        "speedup": serial_time / parallel_time,
+        "serial_history": serial_history,
+        "parallel_history": parallel_history,
+    }
+
+
+def test_bench_parallel_rollout_speedup(benchmark):
+    data = run_once(benchmark, _compare_backends)
+    cpus = os.cpu_count() or 1
+    print()
+    print(f"Parallel rollout workers ({NUM_WORKERS} workers, {cpus} CPUs, "
+          f"{TRAINING['num_iterations']}x{TRAINING['episodes_per_iteration']} episodes)")
+    print(f"  serial   iteration time: {data['serial_time'] / TRAINING['num_iterations']:.2f} s")
+    print(f"  parallel iteration time: {data['parallel_time'] / TRAINING['num_iterations']:.2f} s")
+    print(f"  speedup: {data['speedup']:.2f}x (paper trains with 16 workers)")
+    benchmark.extra_info["speedup"] = round(data["speedup"], 3)
+    benchmark.extra_info["cpus"] = cpus
+
+    # Same shape and semantics regardless of the backend.
+    serial, parallel = data["serial_history"], data["parallel_history"]
+    assert len(parallel.iterations) == len(serial.iterations)
+    assert parallel.rewards().shape == serial.rewards().shape
+    assert all(s.mean_num_actions > 0 for s in parallel.iterations)
+
+    if cpus >= NUM_WORKERS:
+        # DECIMA_BENCH_MIN_SPEEDUP loosens the bar on noisy shared runners (CI).
+        required = float(os.environ.get("DECIMA_BENCH_MIN_SPEEDUP", "1.5"))
+        assert data["speedup"] >= required, (
+            f"expected >={required}x speedup with {NUM_WORKERS} workers on {cpus} CPUs, "
+            f"got {data['speedup']:.2f}x"
+        )

@@ -34,13 +34,20 @@ def main() -> None:
     parser.add_argument("--executors", type=int, default=25, help="cluster size")
     parser.add_argument("--interarrival", type=float, default=45.0, help="mean interarrival (s)")
     parser.add_argument("--checkpoint", default="decima_tpch.npz", help="output model path")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="rollout worker processes, >= 1 (1 = serial; the paper uses 16)",
+    )
     args = parser.parse_args()
 
     config = SimulatorConfig(num_executors=args.executors, seed=0)
     factory = tpch_poisson_factory(args.num_jobs, args.interarrival)
 
     print(f"Training Decima for {args.iterations} iterations "
-          f"({args.num_jobs} jobs/sequence, {args.executors} executors)...")
+          f"({args.num_jobs} jobs/sequence, {args.executors} executors, "
+          f"{args.workers} rollout worker{'s' if args.workers != 1 else ''})...")
     agent, history = train_decima_agent(
         config,
         factory,
@@ -48,6 +55,7 @@ def main() -> None:
         episodes_per_iteration=3,
         training_config=TrainingConfig(seed=0, initial_episode_time=2000.0),
         seed=0,
+        num_workers=args.workers,
     )
     rewards = history.rewards()
     print(f"Mean episode reward: first iteration {rewards[0]:.3f}, last {rewards[-1]:.3f}")

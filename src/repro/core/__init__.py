@@ -1,10 +1,19 @@
 """Decima's core contribution: graph neural network, policy network and RL training."""
 
 from .agent import DecimaAgent, DecimaConfig, StepInfo
-from .checkpoints import load_agent_weights, save_agent
+from .checkpoints import AgentSpec, agent_spec, build_agent, load_agent_weights, save_agent
 from .features import FeatureConfig, GraphFeatures, build_graph_features
 from .gnn import GNNConfig, GraphEmbeddings, GraphNeuralNetwork
 from .nn import MLP, Adam, Dense, Module, Parameter
+from .parallel import (
+    EpisodeOutcome,
+    EpisodeSpec,
+    IterationPlan,
+    ParallelRolloutBackend,
+    RolloutBackend,
+    RolloutWorkerPool,
+    SerialRolloutBackend,
+)
 from .policy import PolicyConfig, PolicyNetwork
 from .reinforce import (
     IterationStats,
@@ -25,8 +34,18 @@ __all__ = [
     "DecimaAgent",
     "DecimaConfig",
     "StepInfo",
+    "AgentSpec",
+    "agent_spec",
+    "build_agent",
     "load_agent_weights",
     "save_agent",
+    "EpisodeOutcome",
+    "EpisodeSpec",
+    "IterationPlan",
+    "ParallelRolloutBackend",
+    "RolloutBackend",
+    "RolloutWorkerPool",
+    "SerialRolloutBackend",
     "FeatureConfig",
     "GraphFeatures",
     "build_graph_features",

@@ -1,17 +1,52 @@
-"""Saving and loading trained Decima models (npz checkpoints)."""
+"""Saving, loading and rebuilding Decima models.
+
+Two serialization forms live here: npz checkpoints on disk
+(:func:`save_agent` / :func:`load_agent_weights`) and in-memory
+:class:`AgentSpec` records that let another process reconstruct an
+architecturally identical agent (used by the parallel rollout workers, which
+rebuild the agent once and then refresh its weights from ``state_dict``
+payloads every iteration).
+"""
 
 from __future__ import annotations
 
+import copy
 import json
-from dataclasses import asdict
+from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
-from .agent import DecimaAgent
+from .agent import DecimaAgent, DecimaConfig
 
-__all__ = ["save_agent", "load_agent_weights"]
+__all__ = ["save_agent", "load_agent_weights", "AgentSpec", "agent_spec", "build_agent"]
+
+
+@dataclass
+class AgentSpec:
+    """Picklable description of an agent's architecture (not its weights)."""
+
+    total_executors: int
+    config: DecimaConfig
+
+
+def agent_spec(agent: DecimaAgent) -> AgentSpec:
+    """Capture everything needed to rebuild ``agent`` in another process."""
+    return AgentSpec(
+        total_executors=agent.total_executors,
+        config=copy.deepcopy(agent.config),
+    )
+
+
+def build_agent(
+    spec: AgentSpec, state: Optional[dict[str, np.ndarray]] = None
+) -> DecimaAgent:
+    """Construct a fresh agent from ``spec``, optionally loading weights."""
+    agent = DecimaAgent(spec.total_executors, config=copy.deepcopy(spec.config))
+    if state is not None:
+        agent.load_state_dict(state)
+    return agent
 
 
 def save_agent(agent: DecimaAgent, path: Union[str, Path]) -> Path:

@@ -18,7 +18,7 @@ The trainer implements the three training techniques the paper introduces:
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 import numpy as np
@@ -27,7 +27,7 @@ from ..simulator.environment import SchedulingEnvironment, SimulatorConfig
 from ..simulator.jobdag import JobDAG
 from .agent import DecimaAgent
 from .nn import Adam
-from .rollout import Trajectory, collect_rollout
+from .parallel import EpisodeOutcome, IterationPlan, RolloutBackend, SerialRolloutBackend
 
 __all__ = ["TrainingConfig", "IterationStats", "TrainingHistory", "ReinforceTrainer", "evaluate_agent"]
 
@@ -136,7 +136,15 @@ def evaluate_agent(
 
 
 class ReinforceTrainer:
-    """Policy-gradient training loop for a :class:`DecimaAgent`."""
+    """Policy-gradient training loop for a :class:`DecimaAgent`.
+
+    Episode collection and the per-episode backward passes are delegated to a
+    pluggable :class:`~repro.core.parallel.RolloutBackend`.  The default
+    :class:`~repro.core.parallel.SerialRolloutBackend` reproduces the original
+    single-process trainer bit-for-bit at fixed seeds; pass a
+    :class:`~repro.core.parallel.ParallelRolloutBackend` to spread episodes
+    over a persistent worker pool (§5.3, Algorithm 1).
+    """
 
     def __init__(
         self,
@@ -144,21 +152,33 @@ class ReinforceTrainer:
         simulator_config: SimulatorConfig,
         job_sequence_factory: JobSequenceFactory,
         config: Optional[TrainingConfig] = None,
+        backend: Optional[RolloutBackend] = None,
     ):
         self.agent = agent
         self.simulator_config = simulator_config
         self.job_sequence_factory = job_sequence_factory
         self.config = config or TrainingConfig()
+        self.backend = backend or SerialRolloutBackend()
         self.optimizer = Adam(agent.parameters(), learning_rate=self.config.learning_rate)
         self.rng = np.random.default_rng(self.config.seed)
         self._reward_average = 0.0
         self._reward_average_initialised = False
         self.history = TrainingHistory()
 
+    def close(self) -> None:
+        """Release backend resources (parallel worker processes)."""
+        self.backend.close()
+
+    def __enter__(self) -> "ReinforceTrainer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # ----------------------------------------------------------------- reward
-    def _adjusted_rewards(self, trajectory: Trajectory) -> np.ndarray:
+    def _adjusted_rewards(self, episode: EpisodeOutcome) -> np.ndarray:
         """Apply the differential-reward transformation (average-reward form)."""
-        rewards = trajectory.rewards()
+        rewards = episode.rewards
         if not self.config.use_differential_reward:
             return rewards
         adjusted = np.empty_like(rewards)
@@ -202,36 +222,29 @@ class ReinforceTrainer:
         shared_sequence: Optional[list[JobDAG]] = None
         if config.fix_job_sequence_per_iteration:
             shared_sequence = self.job_sequence_factory(self.rng)
+        if shared_sequence is not None:
+            make_jobs = lambda rng: copy.deepcopy(shared_sequence)  # noqa: E731
+        else:
+            make_jobs = self.job_sequence_factory
 
-        trajectories: list[Trajectory] = []
-        for episode in range(config.episodes_per_iteration):
-            if shared_sequence is not None:
-                jobs = copy.deepcopy(shared_sequence)
-            else:
-                jobs = self.job_sequence_factory(self.rng)
-            env_config = replace(self.simulator_config, max_time=episode_time)
-            environment = SchedulingEnvironment(env_config)
-            seed = int(self.rng.integers(0, 2**31 - 1))
-            trajectory = collect_rollout(
-                environment,
-                self.agent,
-                jobs,
-                rng=self.rng,
-                seed=seed,
-                max_actions=config.max_actions_per_episode,
-            )
-            trajectories.append(trajectory)
+        plan = IterationPlan(
+            num_episodes=config.episodes_per_iteration,
+            episode_time=episode_time,
+            make_jobs=make_jobs,
+            max_actions=config.max_actions_per_episode,
+        )
+        episodes = self.backend.collect(self.agent, self.simulator_config, plan, self.rng)
 
-        self._update_policy(trajectories, entropy_weight)
-        return self._iteration_stats(iteration, trajectories, episode_time, entropy_weight)
+        self._update_policy(episodes, entropy_weight)
+        return self._iteration_stats(iteration, episodes, episode_time, entropy_weight)
 
     # ---------------------------------------------------------------- updates
-    def _update_policy(self, trajectories: list[Trajectory], entropy_weight: float) -> None:
+    def _update_policy(self, episodes: list[EpisodeOutcome], entropy_weight: float) -> None:
         config = self.config
-        wall_times = [t.wall_times() for t in trajectories]
+        wall_times = [e.wall_times for e in episodes]
         returns = []
-        for trajectory in trajectories:
-            adjusted = self._adjusted_rewards(trajectory)
+        for episode in episodes:
+            adjusted = self._adjusted_rewards(episode)
             returns.append(np.cumsum(adjusted[::-1])[::-1] if adjusted.size else adjusted)
 
         if config.use_input_dependent_baseline:
@@ -251,44 +264,35 @@ class ReinforceTrainer:
             if scale > 1e-8:
                 advantage_arrays = [a / scale for a in advantage_arrays]
 
-        self.agent.zero_grad()
-        num_episodes = max(len(trajectories), 1)
-        for trajectory, advantages in zip(trajectories, advantage_arrays):
-            if not trajectory.transitions:
-                continue
-            loss = None
-            for transition, advantage in zip(trajectory.transitions, advantages):
-                term = transition.log_prob * float(-advantage)
-                term = term - transition.entropy * float(entropy_weight)
-                loss = term if loss is None else loss + term
-            if loss is None:
-                continue
-            loss.backward()
-
-        for parameter in self.agent.parameters():
-            if parameter.grad is not None:
-                parameter.grad = parameter.grad / num_episodes
-        self.optimizer.step()
+        # The backward passes run wherever the autograd graphs live — in this
+        # process for the serial backend, inside the rollout workers for the
+        # parallel one.  Either way the backend returns per-parameter sums.
+        num_episodes = max(len(episodes), 1)
+        gradients = self.backend.compute_gradients(
+            self.agent, advantage_arrays, entropy_weight
+        )
+        self.optimizer.apply_gradients(
+            [None if gradient is None else gradient / num_episodes for gradient in gradients]
+        )
         self.agent.zero_grad()
 
     @staticmethod
     def _iteration_stats(
         iteration: int,
-        trajectories: list[Trajectory],
+        episodes: list[EpisodeOutcome],
         episode_time: float,
         entropy_weight: float,
     ) -> IterationStats:
-        total_rewards = [t.total_reward for t in trajectories]
-        num_actions = [t.num_actions for t in trajectories]
+        total_rewards = [e.total_reward for e in episodes]
+        num_actions = [e.num_actions for e in episodes]
         finished = []
         jcts = []
-        for trajectory in trajectories:
-            result = trajectory.result
-            if result is None:
+        for episode in episodes:
+            if episode.num_finished_jobs is None:
                 continue
-            finished.append(len(result.finished_jobs))
-            if result.finished_jobs:
-                jcts.append(result.average_jct)
+            finished.append(episode.num_finished_jobs)
+            if episode.average_jct is not None:
+                jcts.append(episode.average_jct)
         return IterationStats(
             iteration=iteration,
             mean_total_reward=float(np.mean(total_rewards)) if total_rewards else 0.0,

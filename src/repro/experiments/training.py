@@ -13,6 +13,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from ..core.agent import DecimaAgent, DecimaConfig
+from ..core.parallel import ParallelRolloutBackend, RolloutBackend
 from ..core.reinforce import ReinforceTrainer, TrainingConfig, TrainingHistory
 from ..simulator.environment import SimulatorConfig
 from ..simulator.jobdag import JobDAG
@@ -69,8 +70,18 @@ def train_decima_agent(
     agent_config: Optional[DecimaConfig] = None,
     training_config: Optional[TrainingConfig] = None,
     seed: int = 0,
+    num_workers: int = 1,
+    rollout_backend: Optional[RolloutBackend] = None,
 ) -> tuple[DecimaAgent, TrainingHistory]:
-    """Build and train a Decima agent; returns the agent and its training history."""
+    """Build and train a Decima agent; returns the agent and its training history.
+
+    ``num_workers > 1`` collects each iteration's episodes on a persistent
+    pool of that many rollout worker processes (§5.3, Algorithm 1); the
+    default serial path is bit-identical to the historical behaviour.  Pass
+    ``rollout_backend`` to supply a pre-configured backend instead.
+    """
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1 (1 = serial collection)")
     agent_config = agent_config or DecimaConfig(seed=seed)
     agent = DecimaAgent(total_executors=simulator_config.num_executors, config=agent_config)
     training_config = training_config or TrainingConfig(seed=seed)
@@ -79,6 +90,12 @@ def train_decima_agent(
         num_iterations=num_iterations,
         episodes_per_iteration=episodes_per_iteration,
     )
-    trainer = ReinforceTrainer(agent, simulator_config, job_sequence_factory, training_config)
-    history = trainer.train()
+    backend = rollout_backend
+    if backend is None and num_workers > 1:
+        backend = ParallelRolloutBackend(num_workers=num_workers, seed=seed)
+    trainer = ReinforceTrainer(
+        agent, simulator_config, job_sequence_factory, training_config, backend=backend
+    )
+    with trainer:
+        history = trainer.train()
     return agent, history

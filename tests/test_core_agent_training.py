@@ -219,17 +219,20 @@ class TestReinforceTrainer:
     def test_differential_reward_toggle(self):
         agent, trainer = self.make_trainer(use_differential_reward=False)
         from repro.core.rollout import Trajectory, Transition
+        from repro.core.parallel import outcome_from_trajectory
         from repro.autograd import Tensor
 
-        trajectory = Trajectory(
-            transitions=[
-                Transition(Tensor(0.0), Tensor(0.0), reward=-1.0, wall_time=0.0),
-                Transition(Tensor(0.0), Tensor(0.0), reward=-2.0, wall_time=1.0),
-            ]
+        episode = outcome_from_trajectory(
+            Trajectory(
+                transitions=[
+                    Transition(Tensor(0.0), Tensor(0.0), reward=-1.0, wall_time=0.0),
+                    Transition(Tensor(0.0), Tensor(0.0), reward=-2.0, wall_time=1.0),
+                ]
+            )
         )
-        assert np.allclose(trainer._adjusted_rewards(trajectory), [-1.0, -2.0])
+        assert np.allclose(trainer._adjusted_rewards(episode), [-1.0, -2.0])
         trainer.config.use_differential_reward = True
-        adjusted = trainer._adjusted_rewards(trajectory)
+        adjusted = trainer._adjusted_rewards(episode)
         assert adjusted[0] == pytest.approx(0.0)
 
     def test_history_statistics_shape(self):
