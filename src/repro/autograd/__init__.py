@@ -1,6 +1,14 @@
 """Reverse-mode automatic differentiation substrate (replaces TensorFlow)."""
 
-from .tensor import Tensor, as_tensor, concat, gather_rows, segment_sum, stack
+from .tensor import (
+    Tensor,
+    as_tensor,
+    concat,
+    gather_rows,
+    scatter_add_rows,
+    segment_sum,
+    stack,
+)
 from .functional import (
     entropy_from_log_probs,
     log_softmax,
@@ -15,6 +23,7 @@ __all__ = [
     "concat",
     "stack",
     "gather_rows",
+    "scatter_add_rows",
     "segment_sum",
     "softmax",
     "log_softmax",

@@ -14,7 +14,15 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["Tensor", "concat", "stack", "segment_sum", "gather_rows", "as_tensor"]
+__all__ = [
+    "Tensor",
+    "concat",
+    "stack",
+    "segment_sum",
+    "gather_rows",
+    "scatter_add_rows",
+    "as_tensor",
+]
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
@@ -407,6 +415,31 @@ def stack(tensors, axis: int = 0) -> Tensor:
 def gather_rows(tensor: Tensor, indices) -> Tensor:
     """Select rows of a 2-D tensor; equivalent to ``tensor[indices]``."""
     return as_tensor(tensor)[np.asarray(indices, dtype=np.intp)]
+
+
+def scatter_add_rows(base: Tensor, rows, updates: Tensor) -> Tensor:
+    """Add ``updates`` into ``base`` at the given row indices (out-of-place).
+
+    ``out[rows[k]] += updates[k]``; duplicate row indices accumulate.  This is
+    the scatter counterpart of :func:`gather_rows` and the primitive the
+    sparse frontier message-passing path uses to write a height level's
+    updated embeddings back into the full ``(N, D)`` embedding matrix.
+    """
+    base = as_tensor(base)
+    updates = as_tensor(updates)
+    rows = np.asarray(rows, dtype=np.intp)
+    if rows.shape[0] != updates.shape[0]:
+        raise ValueError("rows must have one entry per row of updates")
+    out_data = np.array(base.data, copy=True)
+    np.add.at(out_data, rows, updates.data)
+
+    def backward(grad):
+        grad = np.asarray(grad)
+        return (grad, grad[rows])
+
+    if Tensor._needs_graph(base, updates):
+        return Tensor(out_data, _parents=(base, updates), _backward=backward)
+    return Tensor(out_data)
 
 
 def segment_sum(tensor: Tensor, segment_ids, num_segments: int) -> Tensor:

@@ -1,8 +1,23 @@
 """Decima's core contribution: graph neural network, policy network and RL training."""
 
 from .agent import DecimaAgent, DecimaConfig, StepInfo
-from .checkpoints import AgentSpec, agent_spec, build_agent, load_agent_weights, save_agent
-from .features import FeatureConfig, GraphFeatures, build_graph_features
+from .checkpoints import (
+    AgentSpec,
+    agent_spec,
+    build_agent,
+    load_agent_weights,
+    parameter_fingerprint,
+    save_agent,
+)
+from .features import (
+    FeatureConfig,
+    FrontierLevel,
+    GraphCache,
+    GraphFeatures,
+    GraphStructure,
+    build_graph_features,
+    compute_node_heights,
+)
 from .gnn import GNNConfig, GraphEmbeddings, GraphNeuralNetwork
 from .nn import MLP, Adam, Dense, Module, Parameter
 from .parallel import (
@@ -46,9 +61,14 @@ __all__ = [
     "RolloutBackend",
     "RolloutWorkerPool",
     "SerialRolloutBackend",
+    "parameter_fingerprint",
     "FeatureConfig",
+    "FrontierLevel",
+    "GraphCache",
     "GraphFeatures",
+    "GraphStructure",
     "build_graph_features",
+    "compute_node_heights",
     "GNNConfig",
     "GraphEmbeddings",
     "GraphNeuralNetwork",

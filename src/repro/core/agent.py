@@ -17,7 +17,7 @@ from ..autograd import Tensor, entropy_from_log_probs, masked_log_softmax
 from ..schedulers.base import Scheduler
 from ..simulator.environment import Action, Observation
 from ..simulator.jobdag import JobDAG, Node
-from .features import FeatureConfig, GraphFeatures, build_graph_features
+from .features import FeatureConfig, GraphCache, GraphFeatures, build_graph_features
 from .gnn import GNNConfig, GraphNeuralNetwork
 from .nn import Module
 from .policy import PolicyConfig, PolicyNetwork
@@ -39,6 +39,12 @@ class DecimaConfig:
     two_level_aggregation: bool = True
     # Multi-resource executor-class head (§7.3).
     multi_resource: bool = False
+    # Hot-path switches.  The defaults run sparse frontier-restricted message
+    # passing over a per-episode incremental GraphCache; disabling either (or
+    # both) falls back to the original dense / from-scratch formulation, which
+    # is kept as the numerical-equivalence oracle.
+    sparse_message_passing: bool = True
+    use_graph_cache: bool = True
     # Number of discrete parallelism-limit levels; ``None`` uses one level per
     # executor (the paper's encoding) capped at 64 levels for very large clusters.
     num_limit_levels: Optional[int] = None
@@ -78,10 +84,16 @@ class DecimaAgent(Module, Scheduler):
                 hidden_sizes=self.config.hidden_sizes,
                 max_message_passing_depth=self.config.max_message_passing_depth,
                 two_level_aggregation=self.config.two_level_aggregation,
+                sparse_message_passing=self.config.sparse_message_passing,
             ),
             rng,
         )
         self._limit_levels = self._build_limit_levels()
+        # One-hot limit encoding: the level -> column mapping is static, so it
+        # is precomputed here instead of being rebuilt on every act() call.
+        self._limit_level_index = {
+            int(level): i for i, level in enumerate(self._limit_levels)
+        }
         limit_input_dim = 1 if self.config.limit_value_input else len(self._limit_levels)
         self.policy = PolicyNetwork(
             PolicyConfig(
@@ -96,6 +108,9 @@ class DecimaAgent(Module, Scheduler):
         )
         self.interarrival_hint: Optional[float] = None
         self._eval_rng = np.random.default_rng(self.config.seed + 1)
+        # Per-episode incremental cache of the static graph structure; rebuilt
+        # only when the set of live jobs changes (arrival/completion).
+        self.graph_cache = GraphCache()
 
     # ---------------------------------------------------------------- helpers
     def _build_limit_levels(self) -> np.ndarray:
@@ -124,7 +139,7 @@ class DecimaAgent(Module, Scheduler):
         if self.config.limit_value_input:
             return (limits / self.total_executors).reshape(-1, 1)
         one_hot = np.zeros((len(limits), len(self._limit_levels)))
-        level_index = {int(level): i for i, level in enumerate(self._limit_levels)}
+        level_index = self._limit_level_index
         for row, limit in enumerate(limits):
             one_hot[row, level_index.get(int(limit), len(self._limit_levels) - 1)] = 1.0
         return one_hot
@@ -132,6 +147,16 @@ class DecimaAgent(Module, Scheduler):
     # ------------------------------------------------------------- scheduling
     def reset(self) -> None:
         self._eval_rng = np.random.default_rng(self.config.seed + 1)
+        self.reset_graph_cache()
+
+    def reset_graph_cache(self) -> None:
+        """Invalidate the graph-structure cache (episode boundaries).
+
+        The cache keys on job object identity, so stale entries can never be
+        *wrongly* reused — this only releases the references pinning the
+        previous episode's job DAGs.
+        """
+        self.graph_cache.reset()
 
     def schedule(self, observation: Observation) -> Optional[Action]:
         action, _ = self.act(
@@ -157,9 +182,14 @@ class DecimaAgent(Module, Scheduler):
         if not observation.schedulable_nodes:
             return None, None
         rng = rng or self._eval_rng
-        graph = build_graph_features(
-            observation, self.config.feature, interarrival_hint=self.interarrival_hint
-        )
+        if self.config.use_graph_cache:
+            graph = self.graph_cache.features(
+                observation, self.config.feature, interarrival_hint=self.interarrival_hint
+            )
+        else:
+            graph = build_graph_features(
+                observation, self.config.feature, interarrival_hint=self.interarrival_hint
+            )
         embeddings = self.gnn(graph)
 
         # --- stage selection (masked softmax over schedulable nodes, Eq. 2)

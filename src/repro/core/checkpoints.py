@@ -11,6 +11,7 @@ payloads every iteration).
 from __future__ import annotations
 
 import copy
+import hashlib
 import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -19,8 +20,35 @@ from typing import Optional, Union
 import numpy as np
 
 from .agent import DecimaAgent, DecimaConfig
+from .nn import Module
 
-__all__ = ["save_agent", "load_agent_weights", "AgentSpec", "agent_spec", "build_agent"]
+__all__ = [
+    "save_agent",
+    "load_agent_weights",
+    "AgentSpec",
+    "agent_spec",
+    "build_agent",
+    "parameter_fingerprint",
+]
+
+
+def parameter_fingerprint(model: Module, decimals: int = 5) -> str:
+    """Stable hash of a model's parameters, rounded to ``decimals`` places.
+
+    Used by the equivalence suite to assert that fixed-seed training lands on
+    the same weights under the sparse and dense inference paths: the two paths
+    sum child messages in different floating-point orders, so parameters agree
+    to ~1e-12 but not bit-for-bit — rounding before hashing absorbs that while
+    still catching any real divergence.
+    """
+    digest = hashlib.sha256()
+    for parameter in model.parameters():
+        # ``+ 0.0`` normalises -0.0 (np.round(-1e-9, 5)) to +0.0 so the two
+        # byte patterns hash identically.
+        rounded = np.round(parameter.data, decimals) + 0.0
+        digest.update(rounded.tobytes())
+        digest.update(str(rounded.shape).encode())
+    return digest.hexdigest()
 
 
 @dataclass

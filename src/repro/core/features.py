@@ -6,11 +6,25 @@ executors currently working on the stage's job, (iv) the number of free
 executors, and (v) whether the free executors are local to the job.  An
 optional sixth feature carries the workload's mean interarrival time (the
 "hint" of Table 2).
+
+The graph inputs split into two parts with very different lifetimes:
+
+* **Static structure** (:class:`GraphStructure`) — node ordering, CSR-style
+  edge arrays, node heights, per-height frontier index arrays, job
+  segmentation and the per-node constants (task counts, task durations).
+  These only change when a job arrives or completes.
+* **Dynamic state** — the ``(N, F)`` feature matrix and the schedulable mask,
+  which change on every scheduling decision.
+
+:func:`build_graph_features` assembles both from scratch (the stateless
+oracle path); :class:`GraphCache` reuses the structure across consecutive
+steps and only refreshes the dynamic arrays, which is what makes the per-step
+inference hot path cheap (§5.1, Fig. 5a).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -18,7 +32,15 @@ import numpy as np
 from ..simulator.environment import Observation
 from ..simulator.jobdag import JobDAG, Node
 
-__all__ = ["FeatureConfig", "GraphFeatures", "build_graph_features"]
+__all__ = [
+    "FeatureConfig",
+    "FrontierLevel",
+    "GraphStructure",
+    "GraphFeatures",
+    "GraphCache",
+    "build_graph_features",
+    "compute_node_heights",
+]
 
 
 @dataclass
@@ -41,21 +63,156 @@ class FeatureConfig:
 
 
 @dataclass
-class GraphFeatures:
-    """Vectorised view of all job DAGs in one observation.
+class FrontierLevel:
+    """Index arrays for one height level of bottom-up message passing.
 
-    Node rows are ordered job-by-job in the order of ``jobs``; ``node_index``
-    maps a :class:`Node` object back to its row.
+    The nodes at height ``h`` (``target_rows``) aggregate messages from their
+    children, all of which sit at heights ``< h`` and therefore already hold
+    their final embedding (Fig. 5a).  ``child_rows`` lists the *unique* child
+    rows feeding the level (``node_f`` runs once per unique child); each edge
+    into the level is then described by ``message_rows[k]`` (an index into
+    ``child_rows``) and ``target_segments[k]`` (an index into ``target_rows``).
     """
 
-    jobs: list[JobDAG]
-    nodes: list[Node]
-    node_features: np.ndarray        # (N, F)
-    adjacency: np.ndarray            # (N, N); adjacency[parent_row, child_row] = 1
-    node_heights: np.ndarray         # (N,) longest distance to a leaf
-    job_ids: np.ndarray              # (N,) row -> job index
-    schedulable_mask: np.ndarray     # (N,) bool
-    node_index: dict[int, int] = field(default_factory=dict)
+    height: int
+    target_rows: np.ndarray      # (F_h,) rows updated at this height
+    child_rows: np.ndarray       # (U_h,) unique rows whose messages feed the level
+    message_rows: np.ndarray     # (E_h,) per-edge index into child_rows
+    target_segments: np.ndarray  # (E_h,) per-edge index into target_rows
+
+    @property
+    def num_targets(self) -> int:
+        return int(len(self.target_rows))
+
+
+def compute_node_heights(
+    num_nodes: int, edge_parent_rows: np.ndarray, edge_child_rows: np.ndarray
+) -> np.ndarray:
+    """Longest distance from each node to a leaf (0 for leaves), vectorized.
+
+    Peels the DAG level by level with numpy index arithmetic instead of the
+    historical per-node Python double loop: round ``r`` assigns height ``r``
+    to every node whose children were all peeled in earlier rounds, which is
+    exactly ``1 + max(child heights)``.
+    """
+    heights = np.zeros(num_nodes, dtype=np.int64)
+    if num_nodes == 0 or edge_parent_rows.size == 0:
+        return heights
+    # CSR over the *child* endpoint: edges sorted by child row so the edges
+    # incident to any frontier of children are a union of contiguous slices.
+    order = np.argsort(edge_child_rows, kind="stable")
+    sorted_parents = edge_parent_rows[order]
+    sorted_children = edge_child_rows[order]
+    offsets = np.searchsorted(sorted_children, np.arange(num_nodes + 1))
+    unresolved_children = np.bincount(edge_parent_rows, minlength=num_nodes)
+    frontier = np.flatnonzero(unresolved_children == 0)
+    height = 0
+    while frontier.size:
+        heights[frontier] = height
+        starts = offsets[frontier]
+        lengths = offsets[frontier + 1] - starts
+        total = int(lengths.sum())
+        if total == 0:
+            break
+        exclusive = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        edge_index = np.repeat(starts - exclusive, lengths) + np.arange(total)
+        parents = sorted_parents[edge_index]
+        np.subtract.at(unresolved_children, parents, 1)
+        candidates = np.unique(parents)
+        frontier = candidates[unresolved_children[candidates] == 0]
+        height += 1
+    return heights
+
+
+def _build_frontier_levels(
+    heights: np.ndarray, edge_parent_rows: np.ndarray, edge_child_rows: np.ndarray
+) -> list[FrontierLevel]:
+    """Group edges by the height of their parent endpoint (one level per height)."""
+    levels: list[FrontierLevel] = []
+    if edge_parent_rows.size == 0:
+        return levels
+    parent_heights = heights[edge_parent_rows]
+    max_height = int(heights.max())
+    for height in range(1, max_height + 1):
+        selected = parent_heights == height
+        level_parents = edge_parent_rows[selected]
+        level_children = edge_child_rows[selected]
+        target_rows = np.flatnonzero(heights == height)
+        target_segments = np.searchsorted(target_rows, level_parents).astype(np.intp)
+        child_rows, message_rows = np.unique(level_children, return_inverse=True)
+        levels.append(
+            FrontierLevel(
+                height=height,
+                target_rows=target_rows.astype(np.intp),
+                child_rows=child_rows.astype(np.intp),
+                message_rows=message_rows.astype(np.intp),
+                target_segments=target_segments,
+            )
+        )
+    return levels
+
+
+class GraphStructure:
+    """Everything about a set of live job DAGs that is static between steps.
+
+    Node rows are ordered job-by-job in the order of ``jobs``; ``node_index``
+    maps a :class:`Node` object back to its row.  The instance holds strong
+    references to the jobs, so caching it keyed on job identity is safe (the
+    ``id()`` values cannot be recycled while the structure is alive).
+    """
+
+    def __init__(self, jobs: list[JobDAG]):
+        self.jobs = list(jobs)
+        nodes: list[Node] = []
+        job_ids: list[int] = []
+        node_index: dict[int, int] = {}
+        job_position: dict[int, int] = {}
+        for job_pos, job in enumerate(self.jobs):
+            job_position[id(job)] = job_pos
+            for node in job.nodes:
+                node_index[id(node)] = len(nodes)
+                nodes.append(node)
+                job_ids.append(job_pos)
+        self.nodes = nodes
+        self.node_index = node_index
+        self.job_position = job_position
+        self.job_ids = np.asarray(job_ids, dtype=np.intp)
+
+        num_nodes = len(nodes)
+        parent_rows: list[int] = []
+        child_rows: list[int] = []
+        for job in self.jobs:
+            for node in job.nodes:
+                parent_row = node_index[id(node)]
+                for child in node.children:
+                    parent_rows.append(parent_row)
+                    child_rows.append(node_index[id(child)])
+        parents = np.asarray(parent_rows, dtype=np.intp)
+        children = np.asarray(child_rows, dtype=np.intp)
+        if parents.size:
+            # Deduplicate repeated edges so the sparse aggregation matches the
+            # dense 0/1 adjacency semantics (an edge contributes one message).
+            keys = np.unique(parents * num_nodes + children)
+            parents = (keys // num_nodes).astype(np.intp)
+            children = (keys % num_nodes).astype(np.intp)
+        self.edge_parent_rows = parents
+        self.edge_child_rows = children
+
+        # Static per-node feature constants.
+        self.num_tasks = np.fromiter(
+            (node.num_tasks for node in nodes), dtype=np.float64, count=num_nodes
+        )
+        self.task_durations = np.fromiter(
+            (node.task_duration for node in nodes), dtype=np.float64, count=num_nodes
+        )
+
+        self.node_heights = compute_node_heights(
+            num_nodes, self.edge_parent_rows, self.edge_child_rows
+        )
+        self.frontier_levels = _build_frontier_levels(
+            self.node_heights, self.edge_parent_rows, self.edge_child_rows
+        )
+        self._adjacency: Optional[np.ndarray] = None
 
     @property
     def num_nodes(self) -> int:
@@ -65,24 +222,130 @@ class GraphFeatures:
     def num_jobs(self) -> int:
         return len(self.jobs)
 
-    def row_of(self, node: Node) -> int:
-        return self.node_index[id(node)]
+    @property
+    def adjacency(self) -> np.ndarray:
+        """Dense ``(N, N)`` matrix with A[parent, child] = 1, built on demand.
+
+        Only the dense-oracle message-passing path reads this; the sparse
+        path works entirely from the edge and frontier index arrays.
+        """
+        if self._adjacency is None:
+            matrix = np.zeros((self.num_nodes, self.num_nodes))
+            matrix[self.edge_parent_rows, self.edge_child_rows] = 1.0
+            self._adjacency = matrix
+        return self._adjacency
+
+    def matches(self, jobs: list[JobDAG]) -> bool:
+        """True when ``jobs`` is the identical (same objects, same order) job set."""
+        return len(jobs) == len(self.jobs) and all(
+            cached is live for cached, live in zip(self.jobs, jobs)
+        )
 
 
-def _node_heights(jobs: list[JobDAG], nodes: list[Node], node_index: dict[int, int]) -> np.ndarray:
-    """Longest distance from each node to a leaf (0 for leaves).
+class GraphFeatures:
+    """Vectorised view of all job DAGs in one observation.
 
-    Message passing proceeds height-by-height so that a node is updated only
-    after all of its children have received their final embedding (Fig. 5a).
+    Combines the step-invariant :class:`GraphStructure` with the per-step
+    dynamic arrays (feature matrix and schedulable mask).  Fresh dynamic
+    arrays are allocated every step — autograd graphs recorded during an
+    episode keep references to ``node_features``, so it is never mutated in
+    place.
     """
-    heights = np.zeros(len(nodes), dtype=np.int64)
-    for job in jobs:
-        # Reverse topological order: children are processed before parents.
-        for node in reversed(job._topo_order):
-            row = node_index[id(node)]
-            child_heights = [heights[node_index[id(child)]] for child in node.children]
-            heights[row] = 1 + max(child_heights) if child_heights else 0
-    return heights
+
+    __slots__ = ("structure", "node_features", "schedulable_mask")
+
+    def __init__(
+        self,
+        structure: GraphStructure,
+        node_features: np.ndarray,
+        schedulable_mask: np.ndarray,
+    ):
+        self.structure = structure
+        self.node_features = node_features
+        self.schedulable_mask = schedulable_mask
+
+    # ------------------------------------------------- structure delegation
+    @property
+    def jobs(self) -> list[JobDAG]:
+        return self.structure.jobs
+
+    @property
+    def nodes(self) -> list[Node]:
+        return self.structure.nodes
+
+    @property
+    def node_index(self) -> dict[int, int]:
+        return self.structure.node_index
+
+    @property
+    def job_ids(self) -> np.ndarray:
+        return self.structure.job_ids
+
+    @property
+    def node_heights(self) -> np.ndarray:
+        return self.structure.node_heights
+
+    @property
+    def adjacency(self) -> np.ndarray:
+        return self.structure.adjacency
+
+    @property
+    def frontier_levels(self) -> list[FrontierLevel]:
+        return self.structure.frontier_levels
+
+    @property
+    def num_nodes(self) -> int:
+        return self.structure.num_nodes
+
+    @property
+    def num_jobs(self) -> int:
+        return self.structure.num_jobs
+
+    def row_of(self, node: Node) -> int:
+        return self.structure.node_index[id(node)]
+
+
+def _dynamic_node_features(
+    structure: GraphStructure,
+    observation: Observation,
+    config: FeatureConfig,
+    interarrival_hint: Optional[float],
+) -> np.ndarray:
+    """Fresh ``(N, F)`` feature matrix for the current step, fully vectorized."""
+    num_nodes = structure.num_nodes
+    features = np.zeros((num_nodes, config.num_features))
+    finished = np.fromiter(
+        (node.num_finished_tasks for node in structure.nodes),
+        dtype=np.float64,
+        count=num_nodes,
+    )
+    running = np.fromiter(
+        (node.num_running_tasks for node in structure.nodes),
+        dtype=np.float64,
+        count=num_nodes,
+    )
+    features[:, 0] = (structure.num_tasks - finished) / config.task_scale
+    if config.include_task_duration:
+        features[:, 1] = structure.task_durations / config.duration_scale
+    features[:, 2] = running / config.executor_scale
+    features[:, 3] = observation.num_free_executors / config.executor_scale
+    source = observation.source_job
+    if source is not None:
+        source_pos = structure.job_position.get(id(source))
+        if source_pos is not None:
+            features[:, 4] = (structure.job_ids == source_pos).astype(np.float64)
+    if config.include_interarrival_hint:
+        hint = interarrival_hint if interarrival_hint is not None else 0.0
+        features[:, 5] = hint / config.interarrival_scale
+    return features
+
+
+def _schedulable_mask(structure: GraphStructure, observation: Observation) -> np.ndarray:
+    mask = np.zeros(structure.num_nodes, dtype=bool)
+    node_index = structure.node_index
+    for node in observation.schedulable_nodes:
+        mask[node_index[id(node)]] = True
+    return mask
 
 
 def build_graph_features(
@@ -90,54 +353,65 @@ def build_graph_features(
     config: Optional[FeatureConfig] = None,
     interarrival_hint: Optional[float] = None,
 ) -> GraphFeatures:
-    """Assemble the node-feature matrix, adjacency and masks for the GNN."""
+    """Assemble the node-feature matrix, structure and masks for the GNN.
+
+    Stateless: rebuilds the full :class:`GraphStructure` every call.  The
+    per-step hot path should go through :class:`GraphCache` instead, which
+    only does this work when the set of live jobs changes.
+    """
     config = config or FeatureConfig()
-    jobs = list(observation.job_dags)
-    nodes: list[Node] = []
-    job_ids: list[int] = []
-    node_index: dict[int, int] = {}
-    for job_pos, job in enumerate(jobs):
-        for node in job.nodes:
-            node_index[id(node)] = len(nodes)
-            nodes.append(node)
-            job_ids.append(job_pos)
-
-    num_nodes = len(nodes)
-    features = np.zeros((num_nodes, config.num_features))
-    free = observation.num_free_executors / config.executor_scale
-    for row, node in enumerate(nodes):
-        job = node.job
-        remaining_tasks = node.num_tasks - node.num_finished_tasks
-        local = 1.0 if observation.source_job is job else 0.0
-        features[row, 0] = remaining_tasks / config.task_scale
-        if config.include_task_duration:
-            features[row, 1] = node.task_duration / config.duration_scale
-        features[row, 2] = node.num_running_tasks / config.executor_scale
-        features[row, 3] = free
-        features[row, 4] = local
-        if config.include_interarrival_hint:
-            hint = interarrival_hint if interarrival_hint is not None else 0.0
-            features[row, 5] = hint / config.interarrival_scale
-
-    adjacency = np.zeros((num_nodes, num_nodes))
-    for job in jobs:
-        for node in job.nodes:
-            parent_row = node_index[id(node)]
-            for child in node.children:
-                adjacency[parent_row, node_index[id(child)]] = 1.0
-
-    schedulable_rows = np.zeros(num_nodes, dtype=bool)
-    for node in observation.schedulable_nodes:
-        schedulable_rows[node_index[id(node)]] = True
-
-    heights = _node_heights(jobs, nodes, node_index)
+    structure = GraphStructure(list(observation.job_dags))
     return GraphFeatures(
-        jobs=jobs,
-        nodes=nodes,
-        node_features=features,
-        adjacency=adjacency,
-        node_heights=heights,
-        job_ids=np.asarray(job_ids, dtype=np.intp),
-        schedulable_mask=schedulable_rows,
-        node_index=node_index,
+        structure=structure,
+        node_features=_dynamic_node_features(
+            structure, observation, config, interarrival_hint
+        ),
+        schedulable_mask=_schedulable_mask(structure, observation),
     )
+
+
+class GraphCache:
+    """Incremental graph-feature builder for consecutive ``act()`` steps.
+
+    Keys the cached :class:`GraphStructure` on the identity set of live
+    :class:`JobDAG` objects: consecutive observations over the same jobs reuse
+    the edge/frontier/height arrays and only refresh the dynamic feature
+    matrix, while a job arrival or completion (or a new episode, whose jobs
+    are fresh deep copies) transparently triggers a rebuild.
+
+    The cache holds no network outputs, so weight updates between training
+    iterations never invalidate it; call :meth:`reset` at episode boundaries
+    to release the references it keeps to the previous episode's jobs.
+    """
+
+    def __init__(self) -> None:
+        self._structure: Optional[GraphStructure] = None
+        self.num_rebuilds = 0
+
+    def reset(self) -> None:
+        """Drop the cached structure (and the job references that pin it)."""
+        self._structure = None
+
+    def structure_for(self, jobs: list[JobDAG]) -> GraphStructure:
+        """Return a structure for ``jobs``, rebuilding only if the set changed."""
+        if self._structure is None or not self._structure.matches(jobs):
+            self._structure = GraphStructure(list(jobs))
+            self.num_rebuilds += 1
+        return self._structure
+
+    def features(
+        self,
+        observation: Observation,
+        config: Optional[FeatureConfig] = None,
+        interarrival_hint: Optional[float] = None,
+    ) -> GraphFeatures:
+        """Graph inputs for ``observation``, reusing cached static structure."""
+        config = config or FeatureConfig()
+        structure = self.structure_for(observation.job_dags)
+        return GraphFeatures(
+            structure=structure,
+            node_features=_dynamic_node_features(
+                structure, observation, config, interarrival_hint
+            ),
+            schedulable_mask=_schedulable_mask(structure, observation),
+        )

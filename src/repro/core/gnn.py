@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..autograd import Tensor, concat, segment_sum
+from ..autograd import Tensor, concat, gather_rows, scatter_add_rows, segment_sum
 from .features import GraphFeatures
 from .nn import MLP, Module
 
@@ -36,6 +36,12 @@ class GNNConfig:
     # Ablation switch (Appendix E / Fig. 19): drop the outer non-linearity g so
     # the aggregation is a plain sum of transformed child embeddings.
     two_level_aggregation: bool = True
+    # Sparse frontier-restricted message passing (the default): at each height
+    # only the frontier's children run through ``node_f`` and the aggregation
+    # is a gather + segment-sum over edge index arrays.  ``False`` selects the
+    # original dense formulation (full-width MLP passes and an O(N²) adjacency
+    # matmul per height), kept as the numerical-equivalence oracle.
+    sparse_message_passing: bool = True
 
 
 @dataclass
@@ -72,6 +78,37 @@ class GraphNeuralNetwork(Module):
         embeddings = self.prep(features)
         if graph.num_nodes == 0:
             return embeddings
+        if self.config.sparse_message_passing:
+            return self._sparse_node_embeddings(graph, embeddings)
+        return self._dense_node_embeddings(graph, embeddings)
+
+    def _sparse_node_embeddings(self, graph: GraphFeatures, embeddings: Tensor) -> Tensor:
+        """Frontier-restricted propagation over the cached edge index arrays.
+
+        At height ``h`` only the unique children feeding the frontier run
+        through ``node_f``; per-edge messages are gathered from those rows and
+        segment-summed into the frontier, whose updates are scattered back
+        into the embedding matrix.  Numerically equivalent to the dense path
+        (same per-node sums, different floating-point summation order).
+        """
+        for level in graph.frontier_levels:
+            if level.height > self.config.max_message_passing_depth:
+                break
+            child_embeddings = gather_rows(embeddings, level.child_rows)
+            messages = self.node_f(child_embeddings)
+            edge_messages = gather_rows(messages, level.message_rows)
+            aggregated = segment_sum(
+                edge_messages, level.target_segments, level.num_targets
+            )
+            if self.config.two_level_aggregation:
+                update = self.node_g(aggregated)
+            else:
+                update = aggregated
+            embeddings = scatter_add_rows(embeddings, level.target_rows, update)
+        return embeddings
+
+    def _dense_node_embeddings(self, graph: GraphFeatures, embeddings: Tensor) -> Tensor:
+        """Original dense formulation: full-width MLPs and adjacency matmuls."""
         adjacency = Tensor(graph.adjacency)
         max_height = int(graph.node_heights.max()) if graph.num_nodes else 0
         max_height = min(max_height, self.config.max_message_passing_depth)

@@ -314,9 +314,11 @@ def _worker_main(
                 reply = accumulate_episode_gradients(
                     agent, trajectories, advantages, entropy_weight
                 )
-                # Autograd graphs are no longer needed; free them before the
+                # Autograd graphs are no longer needed; free them (and the
+                # graph cache pinning the iteration's job DAGs) before the
                 # next collect so peak memory stays at one iteration's worth.
                 trajectories = []
+                agent.reset_graph_cache()
             else:
                 raise ValueError(f"unknown worker command {command!r}")
             conn.send(("ok", reply))

@@ -132,6 +132,11 @@ def evaluate_agent(
         observation, _, done = environment.step(action)
     result = environment.result()
     summary = result.summary()
+    # Learned agents carry a per-episode graph cache; release it so the
+    # deep-copied evaluation jobs do not outlive the episode.
+    release_cache = getattr(agent, "reset_graph_cache", None)
+    if release_cache is not None:
+        release_cache()
     return summary
 
 

@@ -63,6 +63,9 @@ def collect_rollout(
     policies early in training.
     """
     trajectory = Trajectory()
+    # Episode boundary: the job DAGs are fresh objects, so drop the agent's
+    # cached graph structure from any previous episode.
+    agent.reset_graph_cache()
     observation = environment.reset(jobs, seed=seed)
     done = False
     while not done:

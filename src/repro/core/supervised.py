@@ -18,7 +18,7 @@ import numpy as np
 from ..autograd import Tensor
 from ..simulator.jobdag import JobDAG, critical_path_value
 from ..workloads.generator import random_job
-from .features import FeatureConfig, GraphFeatures
+from .features import FeatureConfig, GraphFeatures, GraphStructure
 from .gnn import GNNConfig, GraphNeuralNetwork
 from .nn import MLP, Adam, Module
 
@@ -28,30 +28,14 @@ __all__ = ["CriticalPathDataset", "CriticalPathRegressor", "train_critical_path_
 def graph_features_from_job(job: JobDAG, config: Optional[FeatureConfig] = None) -> GraphFeatures:
     """Build GNN inputs directly from a job DAG (no cluster state needed)."""
     config = config or FeatureConfig()
-    nodes = list(job.nodes)
-    node_index = {id(node): row for row, node in enumerate(nodes)}
-    features = np.zeros((len(nodes), config.num_features))
-    for row, node in enumerate(nodes):
-        features[row, 0] = node.num_tasks / config.task_scale
-        features[row, 1] = node.task_duration / config.duration_scale
-    adjacency = np.zeros((len(nodes), len(nodes)))
-    for node in nodes:
-        for child in node.children:
-            adjacency[node_index[id(node)], node_index[id(child)]] = 1.0
-    heights = np.zeros(len(nodes), dtype=np.int64)
-    for node in reversed(job._topo_order):
-        row = node_index[id(node)]
-        child_heights = [heights[node_index[id(child)]] for child in node.children]
-        heights[row] = 1 + max(child_heights) if child_heights else 0
+    structure = GraphStructure([job])
+    features = np.zeros((structure.num_nodes, config.num_features))
+    features[:, 0] = structure.num_tasks / config.task_scale
+    features[:, 1] = structure.task_durations / config.duration_scale
     return GraphFeatures(
-        jobs=[job],
-        nodes=nodes,
+        structure=structure,
         node_features=features,
-        adjacency=adjacency,
-        node_heights=heights,
-        job_ids=np.zeros(len(nodes), dtype=np.intp),
-        schedulable_mask=np.ones(len(nodes), dtype=bool),
-        node_index=node_index,
+        schedulable_mask=np.ones(structure.num_nodes, dtype=bool),
     )
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.autograd import Tensor, concat, gather_rows, segment_sum, stack
+from repro.autograd import Tensor, concat, gather_rows, scatter_add_rows, segment_sum, stack
 
 
 def numerical_gradient(fn, x, eps=1e-6):
@@ -226,6 +226,61 @@ class TestJoins:
         assert np.allclose(out.data, [[4, 5], [0, 1]])
         out.sum().backward()
         assert np.allclose(a.grad, [[1, 1], [0, 0], [1, 1]])
+
+    def test_gather_rows_duplicate_indices_gradient_matches_numerical(self):
+        rng = np.random.default_rng(0)
+        base = rng.normal(size=(4, 3))
+        weights = rng.normal(size=(3, 3))
+        rows = [1, 1, 3]
+
+        a = Tensor(base.copy(), requires_grad=True)
+        (gather_rows(a, rows) * Tensor(weights)).sum().backward()
+
+        def loss(x):
+            return float((x[rows] * weights).sum())
+
+        assert np.allclose(a.grad, numerical_gradient(loss, base.copy()))
+
+
+class TestScatterAddRows:
+    def test_forward_accumulates_duplicates(self):
+        base = Tensor(np.zeros((3, 2)))
+        updates = Tensor(np.array([[1.0, 2.0], [10.0, 20.0], [3.0, 4.0]]))
+        out = scatter_add_rows(base, [2, 0, 2], updates)
+        assert np.allclose(out.data, [[10, 20], [0, 0], [4, 6]])
+
+    def test_out_of_place(self):
+        base = Tensor(np.zeros((2, 2)))
+        scatter_add_rows(base, [0], Tensor(np.ones((1, 2))))
+        assert np.allclose(base.data, 0.0)
+
+    def test_row_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            scatter_add_rows(Tensor(np.zeros((3, 2))), [0, 1], Tensor(np.ones((3, 2))))
+
+    def test_gradients_match_numerical(self):
+        rng = np.random.default_rng(1)
+        base = rng.normal(size=(4, 2))
+        updates = rng.normal(size=(3, 2))
+        weights = rng.normal(size=(4, 2))
+        rows = [3, 0, 3]
+
+        b = Tensor(base.copy(), requires_grad=True)
+        u = Tensor(updates.copy(), requires_grad=True)
+        (scatter_add_rows(b, rows, u) * Tensor(weights)).sum().backward()
+
+        def loss_base(x):
+            out = x.copy()
+            np.add.at(out, rows, updates)
+            return float((out * weights).sum())
+
+        def loss_updates(x):
+            out = base.copy()
+            np.add.at(out, rows, x)
+            return float((out * weights).sum())
+
+        assert np.allclose(b.grad, numerical_gradient(loss_base, base.copy()))
+        assert np.allclose(u.grad, numerical_gradient(loss_updates, updates.copy()))
 
 
 class TestSegmentSum:

@@ -96,6 +96,17 @@ class TestDecimaAgent:
         action, info = agent.act(observation, rng=np.random.default_rng(0), training=True)
         assert action is not None and info is not None
 
+    def test_one_hot_limit_level_index_precomputed(self):
+        agent = DecimaAgent(total_executors=6, config=DecimaConfig(limit_value_input=False))
+        assert agent._limit_level_index == {
+            int(level): i for i, level in enumerate(agent._limit_levels)
+        }
+        one_hot = agent._limit_inputs(agent._limit_levels)
+        assert np.array_equal(one_hot, np.eye(len(agent._limit_levels)))
+        # Unknown limits fall into the last (largest) level's column.
+        overflow = agent._limit_inputs(np.array([agent.total_executors + 5]))
+        assert overflow[0, -1] == 1.0
+
     def test_interarrival_hint_requires_feature_flag(self):
         env, _, jobs = small_env_and_jobs()
         config = DecimaConfig(feature=FeatureConfig(include_interarrival_hint=True))

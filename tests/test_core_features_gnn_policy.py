@@ -7,6 +7,7 @@ from repro.core import (
     FeatureConfig,
     GNNConfig,
     GraphNeuralNetwork,
+    GraphStructure,
     PolicyConfig,
     PolicyNetwork,
     build_graph_features,
@@ -75,6 +76,53 @@ class TestFeatureExtraction:
         _, observation = live_observation()
         graph = build_graph_features(observation, FeatureConfig(include_task_duration=False))
         assert np.allclose(graph.node_features[:, 1], 0.0)
+
+
+def recursive_height(node, cache=None):
+    """Oracle for the vectorized height computation: 1 + max(child heights)."""
+    if cache is None:
+        cache = {}
+    if id(node) in cache:
+        return cache[id(node)]
+    value = 1 + max((recursive_height(c, cache) for c in node.children), default=-1)
+    cache[id(node)] = value
+    return value
+
+
+class TestGraphStructure:
+    def test_vectorized_heights_match_recursive_definition(self):
+        rng = np.random.default_rng(5)
+        jobs = sample_tpch_jobs(6, rng, sizes=(2.0, 5.0))
+        structure = GraphStructure(jobs)
+        cache = {}
+        expected = np.array([recursive_height(node, cache) for node in structure.nodes])
+        assert np.array_equal(structure.node_heights, expected)
+
+    def test_frontier_levels_cover_every_edge_exactly_once(self):
+        rng = np.random.default_rng(6)
+        jobs = sample_tpch_jobs(4, rng, sizes=(2.0, 5.0))
+        structure = GraphStructure(jobs)
+        total_edges = sum(len(level.message_rows) for level in structure.frontier_levels)
+        assert total_edges == len(structure.edge_parent_rows)
+        for level in structure.frontier_levels:
+            # Every target row really sits at this level's height...
+            assert np.all(structure.node_heights[level.target_rows] == level.height)
+            # ...and every message comes from strictly below it.
+            child_rows = level.child_rows[level.message_rows]
+            assert np.all(structure.node_heights[child_rows] < level.height)
+            # Every frontier node receives at least one message (height >= 1
+            # means it has children by definition of the longest-path height).
+            assert set(level.target_segments.tolist()) == set(range(level.num_targets))
+
+    def test_adjacency_is_lazy_and_cached(self):
+        rng = np.random.default_rng(7)
+        structure = GraphStructure(sample_tpch_jobs(2, rng, sizes=(2.0, 5.0)))
+        assert structure._adjacency is None
+        first = structure.adjacency
+        assert structure.adjacency is first
+        for parent, child in zip(structure.edge_parent_rows, structure.edge_child_rows):
+            assert first[parent, child] == 1.0
+        assert first.sum() == len(structure.edge_parent_rows)
 
 
 class TestGraphNeuralNetwork:

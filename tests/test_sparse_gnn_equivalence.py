@@ -1,0 +1,282 @@
+"""Equivalence suite: sparse frontier message passing + GraphCache vs the dense oracle.
+
+The sparse path and the incremental cache are pure performance work — they
+must be numerically indistinguishable from the original formulation.  These
+tests pin that down at three levels:
+
+* :class:`GraphNeuralNetwork` forward values and parameter gradients match to
+  1e-10 across single-job, multi-job, disconnected-DAG and single-level
+  aggregation configurations;
+* a :class:`GraphCache` driven through a live episode (arrivals, completions)
+  always matches a from-scratch ``build_graph_features`` while rebuilding
+  its structure only when the live-job set changes;
+* fixed-seed rollouts and training produce identical actions and identical
+  (rounded) parameter-hash fingerprints under both paths and both rollout
+  backends.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DecimaAgent,
+    DecimaConfig,
+    GNNConfig,
+    GraphCache,
+    GraphNeuralNetwork,
+    ParallelRolloutBackend,
+    ReinforceTrainer,
+    SerialRolloutBackend,
+    TrainingConfig,
+    build_graph_features,
+    parameter_fingerprint,
+)
+from repro.core.rollout import collect_rollout
+from repro.simulator import SchedulingEnvironment, SimulatorConfig
+from repro.simulator.environment import Action
+from repro.simulator.jobdag import JobDAG, Node
+from repro.workloads import batched_arrivals, sample_tpch_jobs
+
+TOL = 1e-10
+
+
+def tpch_observation(num_jobs, num_executors=8, seed=0):
+    rng = np.random.default_rng(seed)
+    jobs = batched_arrivals(sample_tpch_jobs(num_jobs, rng, sizes=(2.0, 5.0)))
+    env = SchedulingEnvironment(SimulatorConfig(num_executors=num_executors, seed=seed))
+    return env, env.reset(jobs)
+
+
+def disconnected_observation():
+    """A job whose DAG has two separate components plus an isolated node."""
+    nodes = [Node(i, num_tasks=2 + i, task_duration=5.0 + i) for i in range(5)]
+    job = JobDAG(nodes, edges=[(0, 1), (2, 3)], name="disconnected")
+    env = SchedulingEnvironment(SimulatorConfig(num_executors=4, seed=0))
+    return env, env.reset([job])
+
+
+def paired_gnns(seed=0, **overrides):
+    sparse = GraphNeuralNetwork(
+        GNNConfig(sparse_message_passing=True, **overrides), np.random.default_rng(seed)
+    )
+    dense = GraphNeuralNetwork(
+        GNNConfig(sparse_message_passing=False, **overrides), np.random.default_rng(seed)
+    )
+    return sparse, dense
+
+
+def assert_embeddings_and_gradients_match(graph, sparse, dense):
+    out_sparse = sparse(graph)
+    out_dense = dense(graph)
+    np.testing.assert_allclose(
+        out_sparse.node_embeddings.data, out_dense.node_embeddings.data, atol=TOL, rtol=0
+    )
+    np.testing.assert_allclose(
+        out_sparse.job_embeddings.data, out_dense.job_embeddings.data, atol=TOL, rtol=0
+    )
+    np.testing.assert_allclose(
+        out_sparse.global_embedding.data, out_dense.global_embedding.data, atol=TOL, rtol=0
+    )
+    # A loss touching every output head, so gradients reach all parameters.
+    weights = np.random.default_rng(7).normal(size=out_sparse.node_embeddings.shape)
+    for model, out in ((sparse, out_sparse), (dense, out_dense)):
+        model.zero_grad()
+        loss = (out.node_embeddings * weights).sum() + out.global_embedding.sum()
+        loss.backward()
+    for p_sparse, p_dense in zip(sparse.parameters(), dense.parameters()):
+        # Parameters unused under the current config (e.g. node_g with
+        # single-level aggregation, node_f at depth 0) have no gradient in
+        # either model; everything used must match.
+        assert (p_sparse.grad is None) == (p_dense.grad is None)
+        if p_sparse.grad is not None:
+            np.testing.assert_allclose(p_sparse.grad, p_dense.grad, atol=TOL, rtol=0)
+
+
+class TestSparseDenseEquivalence:
+    def test_single_job(self):
+        _, observation = tpch_observation(num_jobs=1)
+        graph = build_graph_features(observation)
+        assert_embeddings_and_gradients_match(graph, *paired_gnns())
+
+    def test_multi_job(self):
+        _, observation = tpch_observation(num_jobs=4)
+        graph = build_graph_features(observation)
+        assert_embeddings_and_gradients_match(graph, *paired_gnns())
+
+    def test_disconnected_dag(self):
+        _, observation = disconnected_observation()
+        graph = build_graph_features(observation)
+        assert_embeddings_and_gradients_match(graph, *paired_gnns())
+
+    def test_single_level_aggregation(self):
+        _, observation = tpch_observation(num_jobs=3)
+        graph = build_graph_features(observation)
+        assert_embeddings_and_gradients_match(
+            graph, *paired_gnns(two_level_aggregation=False)
+        )
+
+    def test_depth_cap_respected(self):
+        _, observation = tpch_observation(num_jobs=2)
+        graph = build_graph_features(observation)
+        for depth in (0, 1, 2):
+            assert_embeddings_and_gradients_match(
+                graph, *paired_gnns(max_message_passing_depth=depth)
+            )
+
+    def test_cached_graph_matches_scratch_graph_through_gnn(self):
+        _, observation = tpch_observation(num_jobs=3)
+        sparse, _ = paired_gnns()
+        cached = GraphCache().features(observation)
+        scratch = build_graph_features(observation)
+        np.testing.assert_array_equal(cached.node_features, scratch.node_features)
+        np.testing.assert_allclose(
+            sparse(cached).node_embeddings.data,
+            sparse(scratch).node_embeddings.data,
+            atol=TOL,
+            rtol=0,
+        )
+
+
+class TestGraphCacheProperty:
+    def run_episode_comparing(self, env, observation, max_steps=200):
+        """Drive an episode with a cheap deterministic policy, comparing the
+        cache against a from-scratch build at every scheduling point."""
+        cache = GraphCache()
+        rng = np.random.default_rng(3)
+        steps = 0
+        transitions = 0
+        previous_job_set = None
+        while observation is not None and steps < max_steps:
+            cached = cache.features(observation)
+            scratch = build_graph_features(observation)
+            np.testing.assert_array_equal(cached.node_features, scratch.node_features)
+            np.testing.assert_array_equal(cached.schedulable_mask, scratch.schedulable_mask)
+            np.testing.assert_array_equal(cached.node_heights, scratch.node_heights)
+            np.testing.assert_array_equal(cached.job_ids, scratch.job_ids)
+            np.testing.assert_array_equal(cached.adjacency, scratch.adjacency)
+            assert len(cached.frontier_levels) == len(scratch.frontier_levels)
+            for lhs, rhs in zip(cached.frontier_levels, scratch.frontier_levels):
+                assert lhs.height == rhs.height
+                np.testing.assert_array_equal(lhs.target_rows, rhs.target_rows)
+                np.testing.assert_array_equal(lhs.child_rows, rhs.child_rows)
+                np.testing.assert_array_equal(lhs.message_rows, rhs.message_rows)
+                np.testing.assert_array_equal(lhs.target_segments, rhs.target_segments)
+            job_set = tuple(id(job) for job in observation.job_dags)
+            if job_set != previous_job_set:
+                transitions += 1
+                previous_job_set = job_set
+
+            candidates = np.flatnonzero(cached.schedulable_mask)
+            node = cached.nodes[int(rng.choice(candidates))]
+            observation, _, done = env.step(Action(node=node, parallelism_limit=2))
+            steps += 1
+            if done:
+                break
+        return cache, steps, transitions
+
+    def test_cache_matches_scratch_across_arrivals_and_completions(self):
+        rng = np.random.default_rng(0)
+        jobs = sample_tpch_jobs(5, rng, sizes=(2.0, 5.0))
+        # Staggered arrivals so the live-job set changes mid-episode.
+        for index, job in enumerate(jobs):
+            job.arrival_time = float(index * 40.0)
+        env = SchedulingEnvironment(SimulatorConfig(num_executors=3, seed=0))
+        observation = env.reset(jobs)
+        cache, steps, transitions = self.run_episode_comparing(env, observation)
+        assert steps > 10
+        # The episode really exercised arrivals/completions...
+        assert transitions > 1
+        # ...and the cache rebuilt once per live-job-set change, not per step.
+        assert cache.num_rebuilds == transitions
+        assert cache.num_rebuilds < steps
+
+    def test_structure_reused_between_steps(self):
+        env, observation = tpch_observation(num_jobs=2, num_executors=2)
+        cache = GraphCache()
+        first = cache.features(observation)
+        second = cache.features(env.observe())
+        assert first.structure is second.structure
+        assert cache.num_rebuilds == 1
+        # Dynamic arrays are fresh objects each step (autograd graphs keep
+        # references to them, so they must never be refreshed in place).
+        assert first.node_features is not second.node_features
+
+    def test_reset_forces_rebuild(self):
+        env, observation = tpch_observation(num_jobs=2)
+        cache = GraphCache()
+        cache.features(observation)
+        cache.reset()
+        cache.features(env.observe())
+        assert cache.num_rebuilds == 2
+
+
+def make_agent(sparse: bool, executors: int = 8) -> DecimaAgent:
+    return DecimaAgent(
+        total_executors=executors,
+        config=DecimaConfig(
+            seed=0, sparse_message_passing=sparse, use_graph_cache=sparse
+        ),
+    )
+
+
+class TestEndToEndEquivalence:
+    def rollout(self, sparse: bool):
+        rng = np.random.default_rng(0)
+        jobs = batched_arrivals(sample_tpch_jobs(3, rng, sizes=(2.0, 5.0)))
+        env = SchedulingEnvironment(SimulatorConfig(num_executors=8, seed=0))
+        agent = make_agent(sparse)
+        return collect_rollout(
+            env, agent, copy.deepcopy(jobs), rng=np.random.default_rng(1), seed=5,
+            max_actions=120,
+        )
+
+    def test_sampled_rollout_actions_identical(self):
+        sparse = self.rollout(sparse=True)
+        dense = self.rollout(sparse=False)
+        assert sparse.num_actions == dense.num_actions
+        np.testing.assert_array_equal(sparse.rewards(), dense.rewards())
+        np.testing.assert_array_equal(sparse.wall_times(), dense.wall_times())
+
+    def train_fingerprint(self, sparse: bool, backend_factory):
+        agent = make_agent(sparse, executors=6)
+        trainer = ReinforceTrainer(
+            agent,
+            SimulatorConfig(num_executors=6, seed=0),
+            lambda rng: batched_arrivals(sample_tpch_jobs(2, rng, sizes=(2.0, 5.0))),
+            TrainingConfig(
+                num_iterations=1,
+                episodes_per_iteration=2,
+                initial_episode_time=500.0,
+                max_actions_per_episode=80,
+                seed=0,
+            ),
+            backend=backend_factory(),
+        )
+        with trainer:
+            trainer.train()
+        return parameter_fingerprint(agent)
+
+    def test_training_fingerprints_match_serial_backend(self):
+        assert self.train_fingerprint(True, SerialRolloutBackend) == \
+            self.train_fingerprint(False, SerialRolloutBackend)
+
+    def test_training_fingerprints_match_parallel_backend(self):
+        factory = lambda: ParallelRolloutBackend(num_workers=2, seed=0)  # noqa: E731
+        assert self.train_fingerprint(True, factory) == \
+            self.train_fingerprint(False, factory)
+
+    def test_greedy_evaluation_identical(self):
+        rng = np.random.default_rng(2)
+        jobs = batched_arrivals(sample_tpch_jobs(3, rng, sizes=(2.0, 5.0)))
+        summaries = []
+        for sparse in (True, False):
+            from repro.core import evaluate_agent
+
+            summaries.append(
+                evaluate_agent(
+                    make_agent(sparse), jobs, SimulatorConfig(num_executors=8, seed=0)
+                )
+            )
+        assert summaries[0] == pytest.approx(summaries[1])
