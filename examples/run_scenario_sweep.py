@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Run the scenario-matrix evaluation sweep from the command line.
+
+Evaluates every requested scheduler on every registered scenario over several
+seeds, fans the cells out across a worker pool, and writes one
+``SWEEP_<scenario>.json`` artifact per scenario (mean/p95 JCT with bootstrap
+confidence intervals).  The aggregates are byte-identical regardless of the
+worker count.
+
+Examples:
+
+    # every scenario, the two standard heuristics, 3 seeds, 4 workers
+    python examples/run_scenario_sweep.py --scenarios all \
+        --schedulers fifo,fair --seeds 3 --workers 4
+
+    # tiny CI smoke tier: all scenarios against FIFO, weighted fair and a
+    # randomly initialized Decima agent
+    python examples/run_scenario_sweep.py --scenarios all \
+        --schedulers fifo,weighted_fair,decima --seeds 2 --workers 2 \
+        --num-jobs 3 --num-executors 8 --out sweep-artifacts
+
+    # list the registry
+    python examples/run_scenario_sweep.py --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    SCHEDULER_NAMES,
+    run_sweep,
+    scenario_registry,
+    write_sweep_artifacts,
+)
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="Scenario-matrix evaluation sweep (scenario x scheduler x seed)."
+    )
+    parser.add_argument(
+        "--scenarios",
+        default="all",
+        help="comma-separated scenario names, or 'all' (default)",
+    )
+    parser.add_argument(
+        "--schedulers",
+        default="fifo,fair",
+        help=f"comma-separated scheduler names (known: {', '.join(SCHEDULER_NAMES)})",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=3, help="number of seeds per cell (0..N-1)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes (1 = in-process)"
+    )
+    parser.add_argument(
+        "--out", default=".", help="directory for the SWEEP_<scenario>.json artifacts"
+    )
+    parser.add_argument(
+        "--num-jobs", type=int, default=None, help="override every scenario's job count"
+    )
+    parser.add_argument(
+        "--num-executors",
+        type=int,
+        default=None,
+        help="override every scenario's cluster size",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered scenarios and exit"
+    )
+    return parser.parse_args(argv)
+
+
+def _format_cell(value, width: int = 10) -> str:
+    if value is None:
+        return "-".rjust(width)
+    return f"{value:.1f}".rjust(width)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    registry = scenario_registry(
+        num_jobs=args.num_jobs, num_executors=args.num_executors
+    )
+    if args.list:
+        width = max(len(name) for name in registry)
+        for name, spec in registry.items():
+            print(f"{name.ljust(width)}  {spec.description}")
+        return 0
+
+    if args.scenarios.strip().lower() == "all":
+        scenarios = list(registry)
+    else:
+        scenarios = [name.strip() for name in args.scenarios.split(",") if name.strip()]
+    schedulers = [name.strip() for name in args.schedulers.split(",") if name.strip()]
+    seeds = list(range(args.seeds))
+
+    print(
+        f"sweep: {len(scenarios)} scenarios x {len(schedulers)} schedulers x "
+        f"{len(seeds)} seeds = {len(scenarios) * len(schedulers) * len(seeds)} cells "
+        f"({args.workers} workers)"
+    )
+    start = time.perf_counter()
+    aggregates = run_sweep(
+        scenarios,
+        schedulers,
+        seeds,
+        num_workers=args.workers,
+        num_jobs=args.num_jobs,
+        num_executors=args.num_executors,
+    )
+    elapsed = time.perf_counter() - start
+    paths = write_sweep_artifacts(aggregates, args.out)
+
+    name_width = max(len(name) for name in schedulers)
+    for scenario, aggregate in aggregates.items():
+        print(f"\n{scenario}: {aggregate['description']}")
+        header = f"  {'scheduler'.ljust(name_width)} {'mean JCT'.rjust(10)} {'ci95'.rjust(21)} {'p95 JCT'.rjust(10)} {'done'.rjust(5)}"
+        print(header)
+        for scheduler in schedulers:
+            stats = aggregate["schedulers"][scheduler]
+            ci = stats["jct_ci95"]
+            ci_text = f"[{ci[0]:.1f}, {ci[1]:.1f}]".rjust(21) if ci else "-".rjust(21)
+            done = f"{stats['total_finished']}/{stats['total_finished'] + stats['total_unfinished']}"
+            print(
+                f"  {scheduler.ljust(name_width)} {_format_cell(stats['mean_jct'])} "
+                f"{ci_text} {_format_cell(stats['p95_jct'])} {done.rjust(5)}"
+            )
+    print(f"\nwrote {len(paths)} artifacts to {args.out} in {elapsed:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

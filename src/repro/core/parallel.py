@@ -51,6 +51,7 @@ __all__ = [
     "RolloutBackend",
     "SerialRolloutBackend",
     "ParallelRolloutBackend",
+    "PipeWorkerPool",
     "RolloutWorkerPool",
     "run_episode",
     "episode_loss",
@@ -329,21 +330,24 @@ def _worker_main(
                 return
 
 
-class RolloutWorkerPool:
-    """A persistent pool of rollout worker processes.
+class PipeWorkerPool:
+    """A persistent pool of pipe-connected worker processes.
 
-    Workers are started once (fork where available, else spawn), rebuild the
-    agent from its :class:`~repro.core.checkpoints.AgentSpec`, and then serve
-    ``collect``/``gradients`` requests until :meth:`close`.  Worker ``i`` is
-    seeded with ``seed + i`` for the fallback per-worker generator.
+    The shared master/worker plumbing behind :class:`RolloutWorkerPool` and
+    the sweep engine's pool: workers are started once (fork where available,
+    else spawn) on a ``target`` loop that serves ``(command, payload)``
+    requests — replying ``("ok", value)`` or ``("error", traceback)`` — until
+    :meth:`close`.  ``worker_args(index)`` supplies each worker's extra
+    constructor arguments (after the pipe connection).
     """
+
+    worker_description = "worker"
 
     def __init__(
         self,
-        simulator_config: SimulatorConfig,
-        spec: AgentSpec,
         num_workers: int,
-        seed: int = 0,
+        target: Callable,
+        worker_args: Callable[[int], tuple],
         start_method: Optional[str] = None,
     ) -> None:
         if num_workers <= 0:
@@ -360,9 +364,9 @@ class RolloutWorkerPool:
         for index in range(self.num_workers):
             parent_conn, child_conn = context.Pipe()
             process = context.Process(
-                target=_worker_main,
-                args=(child_conn, simulator_config, spec, seed + index),
-                name=f"rollout-worker-{index}",
+                target=target,
+                args=(child_conn, *worker_args(index)),
+                name=f"{self.worker_description.replace(' ', '-')}-{index}",
                 daemon=True,
             )
             process.start()
@@ -392,10 +396,10 @@ class RolloutWorkerPool:
             try:
                 status, value = connection.recv()
             except EOFError:
-                errors.append(f"rollout worker {index} died without replying")
+                errors.append(f"{self.worker_description} {index} died without replying")
                 continue
             if status != "ok":
-                errors.append(f"rollout worker {index} failed:\n{value}")
+                errors.append(f"{self.worker_description} {index} failed:\n{value}")
             else:
                 replies.append(value)
         if errors:
@@ -420,7 +424,7 @@ class RolloutWorkerPool:
         for connection in self._connections:
             connection.close()
 
-    def __enter__(self) -> "RolloutWorkerPool":
+    def __enter__(self) -> "PipeWorkerPool":
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -431,6 +435,33 @@ class RolloutWorkerPool:
             self.close()
         except Exception:
             pass
+
+
+class RolloutWorkerPool(PipeWorkerPool):
+    """A persistent pool of rollout worker processes.
+
+    Workers rebuild the agent from its
+    :class:`~repro.core.checkpoints.AgentSpec` and then serve
+    ``collect``/``gradients`` requests until :meth:`close`.  Worker ``i`` is
+    seeded with ``seed + i`` for the fallback per-worker generator.
+    """
+
+    worker_description = "rollout worker"
+
+    def __init__(
+        self,
+        simulator_config: SimulatorConfig,
+        spec: AgentSpec,
+        num_workers: int,
+        seed: int = 0,
+        start_method: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            num_workers,
+            target=_worker_main,
+            worker_args=lambda index: (simulator_config, spec, seed + index),
+            start_method=start_method,
+        )
 
 
 class ParallelRolloutBackend(RolloutBackend):

@@ -1,0 +1,306 @@
+"""Declarative scenario registry for the scenario-matrix evaluation subsystem.
+
+The paper's headline claims rest on evaluating Decima against every baseline
+under many cluster conditions: batched vs. continuous Poisson arrivals (§7.2),
+heterogeneous executors and multi-resource packing (§7.3).  This module turns
+those one-off experiment set-ups — plus harder conditions the paper alludes to
+(bursty and heavy-tailed arrivals, executor churn, straggler-prone clusters) —
+into named, frozen :class:`ScenarioSpec` values that the sweep engine
+(:mod:`repro.experiments.sweep`) and CI can fan out over.
+
+A scenario bundles a *workload factory* (which jobs arrive, with their arrival
+process already applied) and a :class:`~repro.simulator.SimulatorConfig`
+(cluster size, executor classes, duration-model fidelity, timed churn events).
+Everything is deterministic given the generator handed to the factory, and
+every factory is built from module-level functions via :func:`functools.partial`
+so specs pickle cleanly across sweep worker processes.
+
+Scenario sizes default to a few jobs on a small cluster so the full matrix
+runs on a laptop (and in the CI smoke tier) in minutes; ``num_jobs`` /
+``num_executors`` overrides scale every scenario up with the same code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import partial
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..simulator.duration import DurationModelConfig
+from ..simulator.environment import ExecutorChurnEvent, SimulatorConfig
+from ..simulator.jobdag import JobDAG
+from ..simulator.multi_resource import assign_memory_requests, multi_resource_config
+from ..workloads.alibaba import sample_alibaba_jobs
+from ..workloads.arrivals import (
+    batched_arrivals,
+    bursty_arrivals,
+    pareto_arrivals,
+    poisson_arrivals,
+)
+from ..workloads.tpch import sample_tpch_jobs, total_work_of
+
+__all__ = [
+    "ScenarioSpec",
+    "scenario_registry",
+    "scenario_names",
+    "get_scenario",
+]
+
+# Small input sizes keep per-scenario work laptop-friendly; overrides scale up.
+_SMALL_SIZES = (2.0, 5.0, 10.0)
+_TARGET_LOAD = 0.85
+_MAX_TIME = 50_000.0
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named evaluation scenario: a workload plus a cluster configuration.
+
+    ``job_factory`` maps a ``numpy`` generator to a fully specified job list
+    (arrival times assigned); ``simulator`` carries the cluster — executor
+    classes, duration-model fidelity switches and timed churn events all ride
+    inside it, so every scheduler sees the scenario identically.
+    """
+
+    name: str
+    description: str
+    job_factory: Callable[[np.random.Generator], list[JobDAG]]
+    simulator: SimulatorConfig
+    num_jobs: int
+    tags: tuple[str, ...] = ()
+
+    def build_jobs(self, rng: np.random.Generator) -> list[JobDAG]:
+        """Instantiate the scenario's job set from ``rng`` (deterministic)."""
+        return self.job_factory(rng)
+
+    def build_config(self, seed: int) -> SimulatorConfig:
+        """The scenario's simulator config reseeded for one evaluation cell."""
+        return replace(self.simulator, seed=int(seed))
+
+
+# ------------------------------------------------------------- job factories
+def _calibrated_interarrival(
+    jobs: Sequence[JobDAG], num_executors: int, target_load: float
+) -> float:
+    """Mean interarrival giving roughly ``target_load`` offered load.
+
+    Offered load is total work over executor-time; with ``n`` jobs spanning
+    about ``n * mean_interarrival`` seconds, the mean interarrival that hits
+    the target is ``total_work / (n * num_executors * target_load)``.
+    """
+    return total_work_of(jobs) / (max(len(jobs), 1) * num_executors * target_load)
+
+
+def _tpch_batched_jobs(
+    rng: np.random.Generator, num_jobs: int, sizes: Sequence[float]
+) -> list[JobDAG]:
+    return batched_arrivals(sample_tpch_jobs(num_jobs, rng, sizes=sizes))
+
+
+def _tpch_poisson_jobs(
+    rng: np.random.Generator, num_jobs: int, sizes: Sequence[float], num_executors: int
+) -> list[JobDAG]:
+    jobs = sample_tpch_jobs(num_jobs, rng, sizes=sizes)
+    mean = _calibrated_interarrival(jobs, num_executors, _TARGET_LOAD)
+    return poisson_arrivals(jobs, mean, rng)
+
+
+def _tpch_bursty_jobs(
+    rng: np.random.Generator, num_jobs: int, sizes: Sequence[float], num_executors: int
+) -> list[JobDAG]:
+    jobs = sample_tpch_jobs(num_jobs, rng, sizes=sizes)
+    mean = _calibrated_interarrival(jobs, num_executors, _TARGET_LOAD)
+    return bursty_arrivals(jobs, mean, rng)
+
+
+def _tpch_pareto_jobs(
+    rng: np.random.Generator, num_jobs: int, sizes: Sequence[float], num_executors: int
+) -> list[JobDAG]:
+    jobs = sample_tpch_jobs(num_jobs, rng, sizes=sizes)
+    mean = _calibrated_interarrival(jobs, num_executors, _TARGET_LOAD)
+    return pareto_arrivals(jobs, mean, rng, shape=1.3)
+
+
+def _tpch_memory_jobs(
+    rng: np.random.Generator, num_jobs: int, sizes: Sequence[float]
+) -> list[JobDAG]:
+    jobs = batched_arrivals(sample_tpch_jobs(num_jobs, rng, sizes=sizes))
+    return assign_memory_requests(jobs, seed=int(rng.integers(0, 2**31 - 1)))
+
+
+def _alibaba_poisson_jobs(
+    rng: np.random.Generator, num_jobs: int, mean_interarrival: float
+) -> list[JobDAG]:
+    return sample_alibaba_jobs(num_jobs, rng, mean_interarrival=mean_interarrival)
+
+
+# ----------------------------------------------------------------- registry
+def _standalone_config(num_executors: int, **kwargs) -> SimulatorConfig:
+    return SimulatorConfig(num_executors=num_executors, max_time=_MAX_TIME, **kwargs)
+
+
+def scenario_registry(
+    num_jobs: Optional[int] = None, num_executors: Optional[int] = None
+) -> dict[str, ScenarioSpec]:
+    """Build the named scenario registry.
+
+    ``num_jobs`` / ``num_executors`` override every scenario's default size so
+    the same matrix runs as a tiny CI smoke tier or a full evaluation.
+    """
+
+    def jobs_of(default: int) -> int:
+        return int(num_jobs) if num_jobs is not None else default
+
+    def executors_of(default: int) -> int:
+        return int(num_executors) if num_executors is not None else default
+
+    registry: dict[str, ScenarioSpec] = {}
+
+    def register(spec: ScenarioSpec) -> None:
+        registry[spec.name] = spec
+
+    # 1. Batched TPC-H (§7.2 batched-arrival setting).
+    n, e = jobs_of(8), executors_of(16)
+    register(
+        ScenarioSpec(
+            name="tpch_batched",
+            description="Batched TPC-H: all jobs arrive at time zero (§7.2)",
+            job_factory=partial(_tpch_batched_jobs, num_jobs=n, sizes=_SMALL_SIZES),
+            simulator=_standalone_config(e),
+            num_jobs=n,
+            tags=("tpch", "batched"),
+        )
+    )
+
+    # 2. Continuous Poisson arrivals at ~85% offered load (§7.2).
+    n, e = jobs_of(10), executors_of(16)
+    register(
+        ScenarioSpec(
+            name="tpch_poisson",
+            description="Continuous TPC-H: Poisson arrivals at ~85% cluster load (§7.2)",
+            job_factory=partial(
+                _tpch_poisson_jobs, num_jobs=n, sizes=_SMALL_SIZES, num_executors=e
+            ),
+            simulator=_standalone_config(e),
+            num_jobs=n,
+            tags=("tpch", "continuous", "poisson"),
+        )
+    )
+
+    # 3. Bursty Markov-modulated arrivals (same long-run load as Poisson).
+    n, e = jobs_of(10), executors_of(16)
+    register(
+        ScenarioSpec(
+            name="tpch_bursty",
+            description="Bursty TPC-H: Markov-modulated arrivals, quiet spells with bursts",
+            job_factory=partial(
+                _tpch_bursty_jobs, num_jobs=n, sizes=_SMALL_SIZES, num_executors=e
+            ),
+            simulator=_standalone_config(e),
+            num_jobs=n,
+            tags=("tpch", "continuous", "bursty"),
+        )
+    )
+
+    # 4. Heavy-tailed (Pareto) interarrivals: long lulls, tight clusters.
+    n, e = jobs_of(10), executors_of(16)
+    register(
+        ScenarioSpec(
+            name="tpch_pareto",
+            description="Heavy-tailed TPC-H: Pareto interarrival times (shape 1.3)",
+            job_factory=partial(
+                _tpch_pareto_jobs, num_jobs=n, sizes=_SMALL_SIZES, num_executors=e
+            ),
+            simulator=_standalone_config(e),
+            num_jobs=n,
+            tags=("tpch", "continuous", "heavy-tail"),
+        )
+    )
+
+    # 5. Heterogeneous executor classes: TPC-H with memory requests on the
+    #    four-class cluster of §7.3.
+    n, e = jobs_of(8), executors_of(20)
+    register(
+        ScenarioSpec(
+            name="hetero_executors",
+            description="Heterogeneous executors: TPC-H with memory requests on four classes (§7.3)",
+            job_factory=partial(_tpch_memory_jobs, num_jobs=n, sizes=_SMALL_SIZES),
+            simulator=replace(multi_resource_config(total_executors=e), max_time=_MAX_TIME),
+            num_jobs=n,
+            tags=("tpch", "multi-resource", "heterogeneous"),
+        )
+    )
+
+    # 6. Multi-resource packing on an industrial-style (Alibaba-like) trace.
+    n, e = jobs_of(6), executors_of(20)
+    register(
+        ScenarioSpec(
+            name="multi_resource_packing",
+            description="Multi-resource packing: Alibaba-style jobs on four executor classes (§7.3)",
+            job_factory=partial(_alibaba_poisson_jobs, num_jobs=n, mean_interarrival=30.0),
+            simulator=replace(multi_resource_config(total_executors=e), max_time=_MAX_TIME),
+            num_jobs=n,
+            tags=("alibaba", "multi-resource", "packing"),
+        )
+    )
+
+    # 7. Executor churn: a third of the fleet decommissions mid-run and
+    #    rejoins later, via timed events every scheduler observes uniformly.
+    n, e = jobs_of(10), executors_of(16)
+    churn = (
+        ExecutorChurnEvent(time=120.0, kind="executor_removed", count=max(1, e // 3)),
+        ExecutorChurnEvent(time=360.0, kind="executor_added", count=max(1, e // 3)),
+    )
+    register(
+        ScenarioSpec(
+            name="executor_churn",
+            description="Executor churn: a third of the executors leave at t=120s and return at t=360s",
+            job_factory=partial(
+                _tpch_poisson_jobs, num_jobs=n, sizes=_SMALL_SIZES, num_executors=e
+            ),
+            simulator=_standalone_config(e, churn_events=churn),
+            num_jobs=n,
+            tags=("tpch", "dynamics", "churn"),
+        )
+    )
+
+    # 8. Straggler-prone cluster: tasks independently straggle 5x with 8%
+    #    probability (duration-model inflation hook).
+    n, e = jobs_of(8), executors_of(16)
+    register(
+        ScenarioSpec(
+            name="straggler_cluster",
+            description="Straggler-prone cluster: 8% of tasks run 5x slower",
+            job_factory=partial(_tpch_batched_jobs, num_jobs=n, sizes=_SMALL_SIZES),
+            simulator=_standalone_config(
+                e,
+                duration=DurationModelConfig(
+                    straggler_probability=0.08, straggler_slowdown=5.0
+                ),
+            ),
+            num_jobs=n,
+            tags=("tpch", "dynamics", "stragglers"),
+        )
+    )
+
+    return registry
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Names of every registered scenario, in registry order."""
+    return tuple(scenario_registry().keys())
+
+
+def get_scenario(
+    name: str,
+    num_jobs: Optional[int] = None,
+    num_executors: Optional[int] = None,
+) -> ScenarioSpec:
+    """Look up one scenario by name (with optional size overrides)."""
+    registry = scenario_registry(num_jobs=num_jobs, num_executors=num_executors)
+    if name not in registry:
+        known = ", ".join(sorted(registry))
+        raise KeyError(f"unknown scenario {name!r}; registered scenarios: {known}")
+    return registry[name]

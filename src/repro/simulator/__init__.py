@@ -1,7 +1,13 @@
 """Event-driven Spark-like cluster simulator (the paper's training substrate, §6.2)."""
 
 from .duration import DurationModelConfig, TaskDurationModel
-from .environment import Action, Observation, SchedulingEnvironment, SimulatorConfig
+from .environment import (
+    Action,
+    ExecutorChurnEvent,
+    Observation,
+    SchedulingEnvironment,
+    SimulatorConfig,
+)
 from .executor import Executor, ExecutorClass, default_executor_class, multi_resource_classes
 from .jobdag import JobDAG, Node, Task, critical_path_value, topological_order
 from .metrics import SimulationResult, TaskRecord, average_jct, executor_utilization, makespan
@@ -9,6 +15,7 @@ from .multi_resource import assign_memory_requests, memory_fragmentation, multi_
 
 __all__ = [
     "Action",
+    "ExecutorChurnEvent",
     "Observation",
     "SchedulingEnvironment",
     "SimulatorConfig",

@@ -14,7 +14,7 @@ learning good policies (and Appendix D shows omitting them hurts fidelity):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -25,7 +25,16 @@ __all__ = ["DurationModelConfig", "TaskDurationModel"]
 
 @dataclass
 class DurationModelConfig:
-    """Switches and magnitudes for the fidelity effects."""
+    """Switches and magnitudes for the fidelity effects.
+
+    Straggler inflation models straggler-prone clusters: each task
+    independently becomes a straggler with probability
+    ``straggler_probability`` and runs ``straggler_slowdown`` times longer.
+    ``straggler_inflation`` overrides that Bernoulli model with an arbitrary
+    hook ``rng -> multiplier`` (must be a picklable top-level callable so
+    configs still cross process boundaries).  The default probability of zero
+    draws no random numbers, so pre-existing seeded runs are unchanged.
+    """
 
     enable_first_wave: bool = True
     first_wave_slowdown: float = 1.3
@@ -34,6 +43,9 @@ class DurationModelConfig:
     noise_sigma: float = 0.05
     moving_delay: float = 2.5
     enable_moving_delay: bool = True
+    straggler_probability: float = 0.0
+    straggler_slowdown: float = 4.0
+    straggler_inflation: Optional[Callable[[np.random.Generator], float]] = None
 
     def simplified(self) -> "DurationModelConfig":
         """The Appendix-H simplified environment: no waves, no delays, no inflation."""
@@ -82,7 +94,19 @@ class TaskDurationModel:
             duration *= float(
                 np.exp(self.rng.normal(-0.5 * self.config.noise_sigma ** 2, self.config.noise_sigma))
             )
+        duration *= self.straggler_factor()
         return max(duration, 1e-6)
+
+    def straggler_factor(self) -> float:
+        """Multiplier for straggler-prone clusters (1.0 when disabled)."""
+        if self.config.straggler_inflation is not None:
+            return float(max(self.config.straggler_inflation(self.rng), 1.0))
+        probability = self.config.straggler_probability
+        if probability <= 0.0:
+            return 1.0
+        if float(self.rng.random()) < probability:
+            return float(max(self.config.straggler_slowdown, 1.0))
+        return 1.0
 
     def work_inflation_factor(self, job: Optional[JobDAG], parallelism: int) -> float:
         """Multiplier on task duration at the given degree of parallelism.

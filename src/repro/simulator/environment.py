@@ -31,7 +31,41 @@ from .executor import Executor, ExecutorClass, default_executor_class
 from .jobdag import JobDAG, Node
 from .metrics import SimulationResult, TaskRecord
 
-__all__ = ["SimulatorConfig", "Observation", "Action", "SchedulingEnvironment"]
+__all__ = [
+    "ExecutorChurnEvent",
+    "SimulatorConfig",
+    "Observation",
+    "Action",
+    "SchedulingEnvironment",
+]
+
+
+@dataclass(frozen=True)
+class ExecutorChurnEvent:
+    """A timed change to the executor fleet (cluster churn).
+
+    ``executor_removed`` decommissions ``count`` executors at ``time``: idle
+    executors leave immediately, busy ones finish their current task first
+    (graceful drain).  At least one executor always stays in the cluster.
+    ``executor_added`` brings ``count`` new executors online; their class
+    defaults to the standalone class (homogeneous clusters) or the last
+    configured class otherwise.
+    """
+
+    time: float
+    kind: str  # "executor_added" | "executor_removed"
+    count: int = 1
+    executor_class: Optional[ExecutorClass] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("executor_added", "executor_removed"):
+            raise ValueError(
+                f"churn event kind must be 'executor_added' or 'executor_removed', got {self.kind!r}"
+            )
+        if self.time < 0:
+            raise ValueError("churn event time must be non-negative")
+        if self.count < 1:
+            raise ValueError("churn event count must be at least 1")
 
 
 @dataclass
@@ -41,6 +75,9 @@ class SimulatorConfig:
     ``executor_classes`` is a list of ``(ExecutorClass, count)`` pairs; when it
     is ``None`` the cluster has ``num_executors`` identical executors (the
     standalone-Spark setting of §7.2: 25 workers x 2 executors = 50 slots).
+    ``churn_events`` is a sequence of timed :class:`ExecutorChurnEvent`
+    changes to the fleet, replayed identically in every episode through the
+    same event heap every scheduler observes.
     """
 
     num_executors: int = 50
@@ -50,6 +87,7 @@ class SimulatorConfig:
     reward_scale: float = 1e-3
     max_time: float = math.inf
     seed: int = 0
+    churn_events: tuple[ExecutorChurnEvent, ...] = ()
 
     def build_executors(self) -> list[Executor]:
         executors: list[Executor] = []
@@ -111,7 +149,13 @@ class SchedulingEnvironment:
         self.duration_model = TaskDurationModel(self.config.duration, seed=self.config.seed)
         self.executors: list[Executor] = self.config.build_executors()
         self.executor_classes = sorted(
-            {e.executor_class for e in self.executors}, key=lambda c: (c.memory, c.cpu)
+            {e.executor_class for e in self.executors}
+            | {
+                event.executor_class
+                for event in self.config.churn_events
+                if event.executor_class is not None
+            },
+            key=lambda c: (c.memory, c.cpu),
         )
         self._event_counter = itertools.count()
         self._reset_state()
@@ -136,8 +180,10 @@ class SchedulingEnvironment:
         self._reset_state()
         if seed is not None:
             self.duration_model.reseed(seed)
-        for executor in self.executors:
-            executor.reset()
+        # Rebuild the fleet from the config so churn from a previous episode
+        # (removed or added executors) never leaks into this one; the fresh
+        # Executor objects start unbound and idle.
+        self.executors = self.config.build_executors()
         self.free_executor_ids = {e.executor_id for e in self.executors}
         jobs = list(jobs)
         if not jobs:
@@ -146,6 +192,8 @@ class SchedulingEnvironment:
             job.reset()
             self._push_event(job.arrival_time, "job_arrival", job)
             self.pending_arrivals += 1
+        for event in self.config.churn_events:
+            self._push_event(event.time, event.kind, event)
         # Advance to the first scheduling point.
         self._advance()
         return self.observe()
@@ -156,6 +204,11 @@ class SchedulingEnvironment:
 
     def _num_jobs_in_system(self) -> int:
         return len(self.active_jobs)
+
+    @property
+    def num_active_executors(self) -> int:
+        """Executors currently part of the cluster (churn-removed ones excluded)."""
+        return sum(1 for executor in self.executors if executor.active)
 
     # ----------------------------------------------------------- observation
     def observe(self) -> Observation:
@@ -170,7 +223,7 @@ class SchedulingEnvironment:
             num_free_executors=len(self.free_executor_ids),
             free_executors_by_class=free_by_class,
             source_job=self.source_job,
-            total_executors=len(self.executors),
+            total_executors=self.num_active_executors,
             executor_classes=list(self.executor_classes),
             num_jobs_in_system=self._num_jobs_in_system(),
         )
@@ -310,6 +363,13 @@ class SchedulingEnvironment:
                 and not (force_process_event and processed_events == 0)
             ):
                 break
+            if self._all_work_done():
+                # Only churn events can remain once every job finished (no
+                # arrivals are pending and completed jobs have no in-flight
+                # tasks); dropping them keeps the final wall time at the last
+                # completion instead of the last fleet change.
+                self.done = True
+                break
             if not self.events:
                 if self._all_work_done():
                     self.done = True
@@ -333,6 +393,10 @@ class SchedulingEnvironment:
                 self._on_task_finish(payload)  # type: ignore[arg-type]
             elif kind == "job_arrival":
                 self._on_job_arrival(payload)  # type: ignore[arg-type]
+            elif kind == "executor_added":
+                self._on_executor_added(payload)  # type: ignore[arg-type]
+            elif kind == "executor_removed":
+                self._on_executor_removed(payload)  # type: ignore[arg-type]
             else:  # pragma: no cover - defensive
                 raise RuntimeError(f"unknown event kind {kind!r}")
             if self._all_work_done() and not self.events:
@@ -356,6 +420,34 @@ class SchedulingEnvironment:
     def _on_job_arrival(self, job: JobDAG) -> None:
         self.pending_arrivals -= 1
         self.active_jobs.append(job)
+
+    def _on_executor_added(self, event: ExecutorChurnEvent) -> None:
+        cls = event.executor_class
+        if cls is None:
+            if self.config.executor_classes is None:
+                cls = default_executor_class()
+            else:
+                cls = self.config.executor_classes[-1][0]
+        for _ in range(event.count):
+            executor = Executor(len(self.executors), cls)
+            self.executors.append(executor)
+            self.free_executor_ids.add(executor.executor_id)
+
+    def _on_executor_removed(self, event: ExecutorChurnEvent) -> None:
+        removable = max(0, self.num_active_executors - 1)
+        budget = min(event.count, removable)
+        if budget <= 0:
+            return
+        # Deterministic victim order: idle executors first (they leave at
+        # once), newest slots first within each group; busy executors drain
+        # their current task before leaving (see _on_task_finish).
+        active = [e for e in self.executors if e.active]
+        active.sort(key=lambda e: (not e.idle, -e.executor_id))
+        for executor in active[:budget]:
+            executor.removed = True
+            if executor.idle:
+                self.free_executor_ids.discard(executor.executor_id)
+                executor.bind_job(None)
 
     def _on_task_finish(self, executor: Executor) -> None:
         task = executor.finish_task()
@@ -382,7 +474,13 @@ class SchedulingEnvironment:
                     other.bind_job(None)
             executor.bind_job(None)
             self.source_job = None
-            self.free_executor_ids.add(executor.executor_id)
+            if executor.active:
+                self.free_executor_ids.add(executor.executor_id)
+            return
+        # A churn-removed executor drains: it finishes its in-flight task but
+        # never takes another one and never rejoins the free pool.
+        if executor.removed:
+            executor.bind_job(None)
             return
         # Keep the executor on the same stage while it has undispatched tasks
         # (this is Spark's task-level scheduling, not an agent decision).

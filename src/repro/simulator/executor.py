@@ -55,6 +55,11 @@ class Executor:
         configured moving delay.
     node / task:
         Stage and task the executor is currently running (``None`` when idle).
+    removed:
+        Set when a timed ``executor_removed`` churn event decommissions the
+        slot.  A removed executor never receives new tasks; if it was busy
+        when the event fired it finishes its current task first (graceful
+        drain) and then leaves the cluster.
     """
 
     def __init__(self, executor_id: int, executor_class: ExecutorClass):
@@ -63,10 +68,16 @@ class Executor:
         self.job: Optional[JobDAG] = None
         self.node: Optional[Node] = None
         self.task: Optional[Task] = None
+        self.removed = False
 
     @property
     def idle(self) -> bool:
         return self.task is None
+
+    @property
+    def active(self) -> bool:
+        """Whether the slot is part of the cluster (not decommissioned)."""
+        return not self.removed
 
     def bind_job(self, job: Optional[JobDAG]) -> None:
         """Attach the executor to ``job`` (detaching from the previous one)."""
@@ -98,6 +109,7 @@ class Executor:
         self.job = None
         self.node = None
         self.task = None
+        self.removed = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         binding = self.job.name if self.job is not None else "free"

@@ -1,7 +1,14 @@
 """Workload generators: TPC-H-like queries, Alibaba-like trace, arrival processes."""
 
 from .alibaba import sample_alibaba_job, sample_alibaba_jobs, split_trace
-from .arrivals import batched_arrivals, estimate_cluster_load, poisson_arrivals, trace_arrivals
+from .arrivals import (
+    batched_arrivals,
+    bursty_arrivals,
+    estimate_cluster_load,
+    pareto_arrivals,
+    poisson_arrivals,
+    trace_arrivals,
+)
 from .generator import chain_job, fork_join_job, random_dag_edges, random_job
 from .scaling import ScalingProfile, estimated_runtime, runtime_vs_parallelism
 from .tpch import (
@@ -20,6 +27,8 @@ __all__ = [
     "sample_alibaba_jobs",
     "split_trace",
     "batched_arrivals",
+    "bursty_arrivals",
+    "pareto_arrivals",
     "poisson_arrivals",
     "trace_arrivals",
     "estimate_cluster_load",

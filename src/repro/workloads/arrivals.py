@@ -11,6 +11,8 @@ from ..simulator.jobdag import JobDAG
 __all__ = [
     "batched_arrivals",
     "poisson_arrivals",
+    "bursty_arrivals",
+    "pareto_arrivals",
     "trace_arrivals",
     "estimate_cluster_load",
 ]
@@ -46,6 +48,80 @@ def poisson_arrivals(
     return jobs
 
 
+def bursty_arrivals(
+    jobs: Iterable[JobDAG],
+    mean_interarrival: float,
+    rng: np.random.Generator,
+    burst_factor: float = 6.0,
+    enter_burst: float = 0.15,
+    exit_burst: float = 0.4,
+    start_time: float = 0.0,
+) -> list[JobDAG]:
+    """Markov-modulated Poisson arrivals: quiet periods with sudden bursts.
+
+    A two-state Markov chain modulates the arrival rate: in the *quiet* state
+    interarrivals are exponential with the quiet mean, in the *burst* state
+    they are ``burst_factor`` times shorter.  After each arrival the chain
+    enters a burst with probability ``enter_burst`` (or leaves one with
+    probability ``exit_burst``).  The quiet mean is scaled so the long-run
+    average interarrival stays ``mean_interarrival``, which keeps the offered
+    load comparable to a plain Poisson process at the same mean.
+    """
+    if mean_interarrival <= 0:
+        raise ValueError("mean interarrival time must be positive")
+    if burst_factor < 1:
+        raise ValueError("burst_factor must be at least 1")
+    if not (0 <= enter_burst <= 1 and 0 <= exit_burst <= 1):
+        raise ValueError("burst transition probabilities must be in [0, 1]")
+    # Stationary fraction of arrivals in the burst state, and the quiet mean
+    # that keeps the overall average interarrival at ``mean_interarrival``.
+    if enter_burst + exit_burst > 0:
+        burst_share = enter_burst / (enter_burst + exit_burst)
+    else:
+        burst_share = 0.0
+    quiet_mean = mean_interarrival / (1.0 - burst_share + burst_share / burst_factor)
+    jobs = list(jobs)
+    arrival = float(start_time)
+    bursting = False
+    for index, job in enumerate(jobs):
+        if index > 0:
+            mean = quiet_mean / burst_factor if bursting else quiet_mean
+            arrival += float(rng.exponential(mean))
+        job.arrival_time = arrival
+        if bursting:
+            bursting = not (rng.random() < exit_burst)
+        else:
+            bursting = rng.random() < enter_burst
+    return jobs
+
+
+def pareto_arrivals(
+    jobs: Iterable[JobDAG],
+    mean_interarrival: float,
+    rng: np.random.Generator,
+    shape: float = 1.5,
+    start_time: float = 0.0,
+) -> list[JobDAG]:
+    """Heavy-tailed (Pareto/Lomax) interarrival times with the given mean.
+
+    ``shape`` must exceed 1 for the mean to exist; smaller shapes give heavier
+    tails (long lulls punctuated by tight clusters of arrivals).  Interarrival
+    samples are ``mean * (shape - 1) * Lomax(shape)``, whose expectation is
+    exactly ``mean_interarrival``.
+    """
+    if mean_interarrival <= 0:
+        raise ValueError("mean interarrival time must be positive")
+    if shape <= 1:
+        raise ValueError("shape must be > 1 so the mean interarrival is finite")
+    jobs = list(jobs)
+    arrival = float(start_time)
+    for index, job in enumerate(jobs):
+        if index > 0:
+            arrival += float(mean_interarrival * (shape - 1.0) * rng.pareto(shape))
+        job.arrival_time = arrival
+    return jobs
+
+
 def trace_arrivals(jobs: Sequence[JobDAG], arrival_times: Sequence[float]) -> list[JobDAG]:
     """Replay explicit arrival times (e.g. from a production trace)."""
     if len(jobs) != len(arrival_times):
@@ -66,14 +142,31 @@ def estimate_cluster_load(
     The paper reports ~85% load for the continuous-arrival experiment; this
     helper lets workload generators calibrate interarrival times to a target
     load.
+
+    When ``horizon`` is omitted it is inferred from the arrival-time span.
+    Batched arrivals have no span, so the horizon falls back to the ideal
+    drain time ``total_work / num_executors`` — a batch offered all at once
+    saturates the cluster, i.e. the load is reported as 1.0.
     """
     if not jobs:
         raise ValueError("need at least one job")
     if num_executors <= 0:
         raise ValueError("num_executors must be positive")
-    total_work = sum(job.total_work for job in jobs)
+    if horizon is not None and horizon <= 0:
+        raise ValueError("horizon must be positive when given explicitly")
+    total_work = float(sum(job.total_work for job in jobs))
     if horizon is None:
-        horizon = max(job.arrival_time for job in jobs) - min(job.arrival_time for job in jobs)
-        if horizon <= 0:
-            raise ValueError("cannot infer horizon from batched arrivals; pass horizon explicitly")
+        span = max(job.arrival_time for job in jobs) - min(job.arrival_time for job in jobs)
+        if span > 0:
+            horizon = span
+        else:
+            # Batched arrivals: all jobs land at the same instant, so the
+            # only defensible horizon is the time a perfectly packed cluster
+            # needs to drain the batch.
+            if total_work <= 0:
+                raise ValueError(
+                    "cannot infer a horizon: jobs arrive together and carry no work; "
+                    "pass horizon explicitly"
+                )
+            horizon = total_work / num_executors
     return float(total_work / (num_executors * horizon))

@@ -17,6 +17,11 @@ from repro.simulator import (
 from repro.simulator.environment import Action
 from repro.workloads import ScalingProfile, estimated_runtime, random_job
 
+# Hypothesis exploration makes this the longest module in the suite; the
+# tier-1 CI matrix deselects it (-m "not slow") and the full-suite job on
+# main pushes runs it.
+pytestmark = pytest.mark.slow
+
 SETTINGS = settings(
     max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
 )

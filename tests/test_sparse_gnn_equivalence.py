@@ -39,6 +39,11 @@ from repro.simulator.environment import Action
 from repro.simulator.jobdag import JobDAG, Node
 from repro.workloads import batched_arrivals, sample_tpch_jobs
 
+# End-to-end equivalence (episodes under both backends, training-fingerprint
+# parity) dominates the suite's runtime; tier-1 CI deselects it (-m "not
+# slow") and the full-suite job on main pushes runs it.
+pytestmark = pytest.mark.slow
+
 TOL = 1e-10
 
 

@@ -9,8 +9,10 @@ from repro.workloads import (
     TPCH_QUERY_IDS,
     ScalingProfile,
     batched_arrivals,
+    bursty_arrivals,
     estimate_cluster_load,
     estimated_runtime,
+    pareto_arrivals,
     make_tpch_job,
     poisson_arrivals,
     random_dag_edges,
@@ -107,6 +109,29 @@ class TestScaling:
         assert profile.work_inflation(10) == 1.0
         assert profile.work_inflation(20) > 1.0
 
+    def test_work_inflation_fractional_sweet_spot(self):
+        # Parallelism just below a fractional sweet spot still sees no
+        # inflation; just above it sees some.
+        profile = ScalingProfile(sweet_spot=10.5)
+        assert profile.work_inflation(10) == 1.0
+        assert profile.work_inflation(11) > 1.0
+
+    def test_work_inflation_tiny_sweet_spot_denominator_clamped(self):
+        # sweet_spot < 1 would explode the excess/sweet_spot ratio without the
+        # max(sweet_spot, 1) clamp in the denominator.
+        profile = ScalingProfile(sweet_spot=0.5, inflation_rate=0.4)
+        assert profile.work_inflation(1) == pytest.approx(1.0 + 0.4 * 0.5)
+        assert profile.work_inflation(2) == pytest.approx(1.0 + 0.4 * 1.5)
+
+    def test_work_inflation_grows_monotonically_beyond_sweet_spot(self):
+        profile = ScalingProfile(sweet_spot=8, inflation_rate=0.3)
+        values = [profile.work_inflation(p) for p in range(8, 30)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_work_inflation_zero_rate_never_inflates(self):
+        profile = ScalingProfile(sweet_spot=5, inflation_rate=0.0)
+        assert profile.work_inflation(500) == 1.0
+
     def test_scaled_profile_shrinks_sweet_spot(self):
         profile = ScalingProfile(sweet_spot=40)
         assert profile.scaled(2.0).sweet_spot < profile.scaled(100.0).sweet_spot
@@ -188,6 +213,60 @@ class TestArrivalProcesses:
         with pytest.raises(ValueError):
             trace_arrivals(jobs, [1.0, -2.0, 3.0])
 
+    def test_trace_arrivals_validation_leaves_arrivals_coerced_to_float(self):
+        jobs = sample_tpch_jobs(2, np.random.default_rng(0))
+        trace_arrivals(jobs, [0, 3])
+        assert all(isinstance(job.arrival_time, float) for job in jobs)
+        # Too many arrival times is as invalid as too few.
+        with pytest.raises(ValueError):
+            trace_arrivals(jobs, [0.0, 1.0, 2.0])
+        # Zero is a valid arrival time (only negatives are rejected).
+        trace_arrivals(jobs, [0.0, 0.0])
+        assert [job.arrival_time for job in jobs] == [0.0, 0.0]
+
+    def test_bursty_arrivals_mean_and_determinism(self):
+        jobs = sample_tpch_jobs(800, np.random.default_rng(0), sizes=(2.0,))
+        bursty_arrivals(jobs, 10.0, np.random.default_rng(1))
+        times = [job.arrival_time for job in jobs]
+        gaps = np.diff(times)
+        assert times[0] == 0.0
+        assert all(gap >= 0 for gap in gaps)
+        # The quiet mean is rescaled so the long-run mean stays on target.
+        assert 7.0 < gaps.mean() < 13.0
+        # Markov modulation makes interarrivals burstier than Poisson (CV > 1).
+        assert gaps.std() / gaps.mean() > 1.05
+        repeat = sample_tpch_jobs(800, np.random.default_rng(0), sizes=(2.0,))
+        bursty_arrivals(repeat, 10.0, np.random.default_rng(1))
+        assert [job.arrival_time for job in repeat] == times
+
+    def test_bursty_arrivals_validation(self):
+        jobs = sample_tpch_jobs(3, np.random.default_rng(0))
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            bursty_arrivals(jobs, 0.0, rng)
+        with pytest.raises(ValueError):
+            bursty_arrivals(jobs, 10.0, rng, burst_factor=0.5)
+        with pytest.raises(ValueError):
+            bursty_arrivals(jobs, 10.0, rng, enter_burst=1.5)
+
+    def test_pareto_arrivals_mean_and_tail(self):
+        jobs = sample_tpch_jobs(3000, np.random.default_rng(0), sizes=(2.0,))
+        pareto_arrivals(jobs, 10.0, np.random.default_rng(2), shape=1.5)
+        gaps = np.diff([job.arrival_time for job in jobs])
+        assert all(gap >= 0 for gap in gaps)
+        # Heavy tail: the sample mean is noisy, bound it loosely...
+        assert 5.0 < gaps.mean() < 20.0
+        # ...but the largest gap dwarfs the mean (the point of the scenario).
+        assert gaps.max() > 10 * gaps.mean()
+
+    def test_pareto_arrivals_validation(self):
+        jobs = sample_tpch_jobs(3, np.random.default_rng(0))
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            pareto_arrivals(jobs, -1.0, rng)
+        with pytest.raises(ValueError):
+            pareto_arrivals(jobs, 10.0, rng, shape=1.0)
+
     def test_estimate_cluster_load(self):
         jobs = sample_tpch_jobs(20, np.random.default_rng(0))
         rng = np.random.default_rng(1)
@@ -196,11 +275,37 @@ class TestArrivalProcesses:
         assert load > 0
         with pytest.raises(ValueError):
             estimate_cluster_load(jobs, num_executors=0)
-        with pytest.raises(ValueError):
-            estimate_cluster_load(batched_arrivals(jobs), num_executors=10)
+        # Batched arrivals have no arrival span; the horizon falls back to the
+        # ideal drain time, so the offered load is exactly 1.0.
+        assert estimate_cluster_load(batched_arrivals(jobs), num_executors=10) == 1.0
         assert estimate_cluster_load(batched_arrivals(jobs), 10, horizon=100.0) > 0
         with pytest.raises(ValueError):
             estimate_cluster_load([], 10)
+
+    def test_estimate_cluster_load_horizon_branches(self):
+        jobs = sample_tpch_jobs(10, np.random.default_rng(0), sizes=(2.0, 5.0))
+        # Inferred horizon equals the arrival span, so halving the explicit
+        # horizon doubles the load.
+        poisson_arrivals(jobs, 20.0, np.random.default_rng(1))
+        span = max(j.arrival_time for j in jobs) - min(j.arrival_time for j in jobs)
+        inferred = estimate_cluster_load(jobs, num_executors=10)
+        explicit = estimate_cluster_load(jobs, num_executors=10, horizon=span / 2)
+        assert explicit == pytest.approx(2 * inferred)
+        # An explicit non-positive horizon is rejected outright.
+        with pytest.raises(ValueError):
+            estimate_cluster_load(jobs, num_executors=10, horizon=0.0)
+        with pytest.raises(ValueError):
+            estimate_cluster_load(jobs, num_executors=10, horizon=-5.0)
+
+    def test_estimate_cluster_load_batched_zero_work_still_raises(self):
+        from types import SimpleNamespace
+
+        # Batched arrivals with zero total work leave nothing to infer a
+        # horizon from; the error says to pass one explicitly.  (Real Node
+        # objects forbid zero durations, so a stub exercises the guard.)
+        jobs = [SimpleNamespace(total_work=0.0, arrival_time=0.0)]
+        with pytest.raises(ValueError, match="pass horizon explicitly"):
+            estimate_cluster_load(jobs, num_executors=4)
 
 
 class TestRandomGenerators:
