@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Drive synthetic multi-session load at a policy server and report throughput.
+
+Each session is a simulated cluster running full scheduling episodes with
+every decision served remotely; sessions run concurrently until the fleet has
+made the requested number of decisions.  The summary (decisions/sec, decision
+sources, p50/p95/p99 latency) prints to stdout and can be written as a JSON
+artifact with ``--out``.
+
+Run against a server you started yourself:
+
+    python examples/run_policy_server.py --port 5555 &
+    python examples/run_policy_loadgen.py --connect 127.0.0.1:5555
+
+or let the load generator self-host one (the CI smoke path):
+
+    python examples/run_policy_loadgen.py --serve --sessions 4 --decisions 200
+"""
+
+import argparse
+import json
+import sys
+
+from repro.core import DecimaAgent, DecimaConfig
+from repro.service import PolicyServer, run_load
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    target = parser.add_mutually_exclusive_group()
+    target.add_argument("--connect", metavar="HOST:PORT",
+                        help="address of a running policy server")
+    target.add_argument("--serve", action="store_true",
+                        help="self-host a server in-process for the duration")
+    parser.add_argument("--sessions", type=int, default=4,
+                        help="concurrent cluster sessions (default 4)")
+    parser.add_argument("--decisions", type=int, default=200,
+                        help="minimum fleet-wide decisions to drive (default 200)")
+    parser.add_argument("--jobs", type=int, default=4, help="jobs per episode")
+    parser.add_argument("--executors", type=int, default=10,
+                        help="executors per session cluster")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--slo-ms", type=float, default=None,
+                        help="SLO for the self-hosted server (--serve only)")
+    parser.add_argument("--serial", action="store_true",
+                        help="self-hosted server answers serially (--serve only)")
+    parser.add_argument("--out", help="write the summary JSON to this path")
+    args = parser.parse_args()
+
+    if not args.connect and not args.serve:
+        args.serve = True  # sensible default: a self-contained run
+
+    server = None
+    if args.serve:
+        agent = DecimaAgent(
+            total_executors=args.executors, config=DecimaConfig(seed=args.seed)
+        )
+        server = PolicyServer(
+            agent, slo_ms=args.slo_ms, batched=not args.serial
+        )
+        host, port = server.start()
+        print(f"Self-hosted policy server on {host}:{port}")
+    else:
+        host, _, port_text = args.connect.partition(":")
+        if not port_text:
+            parser.error("--connect needs HOST:PORT")
+        port = int(port_text)
+
+    try:
+        summary = run_load(
+            host,
+            port,
+            num_sessions=args.sessions,
+            num_jobs=args.jobs,
+            num_executors=args.executors,
+            min_total_decisions=args.decisions,
+            seed=args.seed,
+        )
+    finally:
+        if server is not None:
+            server.stop()
+
+    latency = summary["latency_ms"]
+    print(f"\n{summary['decisions']} decisions across {summary['num_sessions']} "
+          f"sessions in {summary['elapsed_seconds']:.2f}s "
+          f"= {summary['decisions_per_sec']:.1f} decisions/sec")
+    print(f"sources: {summary['sources']}")
+    print(f"latency ms: p50={latency['p50']:.2f} p95={latency['p95']:.2f} "
+          f"p99={latency['p99']:.2f} (n={latency['count']})")
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    if summary["decisions"] < args.decisions:
+        print("ERROR: fleet made fewer decisions than requested", file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Serve a (trained) Decima policy to many concurrent cluster sessions.
+
+Starts the long-lived policy server of :mod:`repro.service`: clients open
+sessions over a newline-delimited-JSON TCP protocol and stream observation
+snapshots; the server answers each with a scheduling action, batching the GNN
+inference across whatever sessions have a request pending.  A per-request SLO
+(``--slo-ms``) guards the policy path — when it breaches, a circuit-breaker
+temporarily routes decisions to the per-session fallback heuristic.
+
+Run:  python examples/run_policy_server.py --run-dir runs/tpch     # latest.json
+      python examples/run_policy_server.py --checkpoint model.npz  # explicit file
+      python examples/run_policy_server.py --executors 20          # untrained net
+
+Then drive traffic at it with examples/run_policy_loadgen.py.
+"""
+
+import argparse
+import time
+
+from repro.core import DecimaAgent, DecimaConfig, load_agent, load_latest
+from repro.schedulers import scheduler_names
+from repro.service import PolicyServer
+
+
+def build_agent(args) -> DecimaAgent:
+    if args.run_dir:
+        agent = load_latest(args.run_dir)
+        print(f"Loaded latest checkpoint from {args.run_dir} "
+              f"({agent.num_parameters()} parameters)")
+        return agent
+    if args.checkpoint:
+        agent = load_agent(args.checkpoint)
+        print(f"Loaded {args.checkpoint} ({agent.num_parameters()} parameters)")
+        return agent
+    print(f"No checkpoint given — serving an untrained policy "
+          f"({args.executors} executors)")
+    return DecimaAgent(total_executors=args.executors, config=DecimaConfig(seed=0))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument("--run-dir", help="training run directory (reads latest.json)")
+    source.add_argument("--checkpoint", help="explicit .npz checkpoint path")
+    parser.add_argument("--executors", type=int, default=10,
+                        help="cluster size for an untrained agent (default 10)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 = pick a free one and print it)")
+    parser.add_argument("--fallback", default="fifo", choices=scheduler_names(),
+                        help="default SLO-fallback heuristic for new sessions")
+    parser.add_argument("--slo-ms", type=float, default=None,
+                        help="per-decision latency SLO; unset disables the breaker")
+    parser.add_argument("--serial", action="store_true",
+                        help="disable cross-session batching (serial reference path)")
+    parser.add_argument("--sample", action="store_true",
+                        help="sample actions instead of greedy arg-max")
+    args = parser.parse_args()
+
+    agent = build_agent(args)
+    server = PolicyServer(
+        agent,
+        host=args.host,
+        port=args.port,
+        fallback=args.fallback,
+        slo_ms=args.slo_ms,
+        batched=not args.serial,
+        greedy=not args.sample,
+    )
+    host, port = server.start()
+    mode = "serial" if args.serial else "batched"
+    slo = f"{args.slo_ms:.0f} ms SLO -> {args.fallback}" if args.slo_ms else "no SLO"
+    print(f"Policy server listening on {host}:{port} ({mode} inference, {slo})")
+    print("Press Ctrl-C to stop.")
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("\nStopping...")
+    finally:
+        server.stop()
+
+
+if __name__ == "__main__":
+    main()

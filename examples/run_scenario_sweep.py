@@ -29,12 +29,8 @@ import argparse
 import sys
 import time
 
-from repro.experiments import (
-    SCHEDULER_NAMES,
-    run_sweep,
-    scenario_registry,
-    write_sweep_artifacts,
-)
+from repro.experiments import run_sweep, scenario_registry, write_sweep_artifacts
+from repro.schedulers import scheduler_names
 
 
 def parse_args(argv=None) -> argparse.Namespace:
@@ -49,7 +45,8 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument(
         "--schedulers",
         default="fifo,fair",
-        help=f"comma-separated scheduler names (known: {', '.join(SCHEDULER_NAMES)})",
+        # scheduler_names() is read live so register_scheduler extensions show.
+        help=f"comma-separated scheduler names (known: {', '.join(scheduler_names())})",
     )
     parser.add_argument(
         "--seeds", type=int, default=3, help="number of seeds per cell (0..N-1)"

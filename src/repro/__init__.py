@@ -10,9 +10,19 @@ processing jobs with reinforcement learning.  This package contains:
 * :mod:`repro.schedulers` — all baseline heuristics from the paper;
 * :mod:`repro.core` — the Decima agent (graph neural network, policy network,
   REINFORCE training with curriculum and input-dependent baselines);
-* :mod:`repro.experiments` — the harness regenerating every table and figure.
+* :mod:`repro.experiments` — the harness regenerating every table and figure;
+* :mod:`repro.service` — the policy-serving subsystem (multi-session
+  scheduling service with cross-session batched GNN inference).
 """
 
 __version__ = "1.0.0"
 
-__all__ = ["autograd", "simulator", "workloads", "schedulers", "core", "experiments"]
+__all__ = [
+    "autograd",
+    "simulator",
+    "workloads",
+    "schedulers",
+    "core",
+    "experiments",
+    "service",
+]

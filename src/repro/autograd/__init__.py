@@ -13,6 +13,7 @@ from .functional import (
     entropy_from_log_probs,
     log_softmax,
     masked_log_softmax,
+    masked_log_softmax_data,
     masked_softmax,
     softmax,
 )
@@ -29,5 +30,6 @@ __all__ = [
     "log_softmax",
     "masked_softmax",
     "masked_log_softmax",
+    "masked_log_softmax_data",
     "entropy_from_log_probs",
 ]

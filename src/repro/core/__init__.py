@@ -5,18 +5,23 @@ from .checkpoints import (
     AgentSpec,
     agent_spec,
     build_agent,
+    load_agent,
     load_agent_weights,
+    load_latest,
     parameter_fingerprint,
     save_agent,
 )
 from .features import (
     FeatureConfig,
     FrontierLevel,
+    GraphBatch,
     GraphCache,
     GraphFeatures,
     GraphStructure,
+    MergedStructureCache,
     build_graph_features,
     compute_node_heights,
+    merge_structures,
 )
 from .gnn import GNNConfig, GraphEmbeddings, GraphNeuralNetwork
 from .nn import MLP, Adam, Dense, Module, Parameter
@@ -52,7 +57,9 @@ __all__ = [
     "AgentSpec",
     "agent_spec",
     "build_agent",
+    "load_agent",
     "load_agent_weights",
+    "load_latest",
     "save_agent",
     "EpisodeOutcome",
     "EpisodeSpec",
@@ -64,11 +71,14 @@ __all__ = [
     "parameter_fingerprint",
     "FeatureConfig",
     "FrontierLevel",
+    "GraphBatch",
     "GraphCache",
     "GraphFeatures",
     "GraphStructure",
+    "MergedStructureCache",
     "build_graph_features",
     "compute_node_heights",
+    "merge_structures",
     "GNNConfig",
     "GraphEmbeddings",
     "GraphNeuralNetwork",

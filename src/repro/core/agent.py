@@ -9,15 +9,27 @@ log-probability and entropy tensors for REINFORCE training.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
-from ..autograd import Tensor, entropy_from_log_probs, masked_log_softmax
+from ..autograd import (
+    Tensor,
+    entropy_from_log_probs,
+    masked_log_softmax,
+    masked_log_softmax_data,
+)
 from ..schedulers.base import Scheduler
 from ..simulator.environment import Action, Observation
 from ..simulator.jobdag import JobDAG, Node
-from .features import FeatureConfig, GraphCache, GraphFeatures, build_graph_features
+from .features import (
+    FeatureConfig,
+    GraphBatch,
+    GraphCache,
+    GraphFeatures,
+    MergedStructureCache,
+    build_graph_features,
+)
 from .gnn import GNNConfig, GraphNeuralNetwork
 from .nn import Module
 from .policy import PolicyConfig, PolicyNetwork
@@ -167,12 +179,31 @@ class DecimaAgent(Module, Scheduler):
         )
         return action
 
+    def build_features(
+        self, observation: Observation, graph_cache: Optional[GraphCache] = None
+    ) -> GraphFeatures:
+        """Graph inputs for ``observation`` under this agent's feature config.
+
+        ``graph_cache`` overrides the agent-owned cache — the policy-serving
+        layer passes each session's own cache so concurrently served clusters
+        do not thrash a single structure slot.
+        """
+        if self.config.use_graph_cache:
+            cache = graph_cache if graph_cache is not None else self.graph_cache
+            return cache.features(
+                observation, self.config.feature, interarrival_hint=self.interarrival_hint
+            )
+        return build_graph_features(
+            observation, self.config.feature, interarrival_hint=self.interarrival_hint
+        )
+
     def act(
         self,
         observation: Observation,
         rng: Optional[np.random.Generator] = None,
         greedy: bool = False,
         training: bool = False,
+        graph_cache: Optional[GraphCache] = None,
     ) -> tuple[Optional[Action], Optional[StepInfo]]:
         """Pick a (stage, parallelism limit[, executor class]) action.
 
@@ -181,65 +212,303 @@ class DecimaAgent(Module, Scheduler):
         """
         if not observation.schedulable_nodes:
             return None, None
-        rng = rng or self._eval_rng
-        if self.config.use_graph_cache:
-            graph = self.graph_cache.features(
-                observation, self.config.feature, interarrival_hint=self.interarrival_hint
-            )
-        else:
-            graph = build_graph_features(
-                observation, self.config.feature, interarrival_hint=self.interarrival_hint
-            )
+        graph = self.build_features(observation, graph_cache=graph_cache)
         embeddings = self.gnn(graph)
-
-        # --- stage selection (masked softmax over schedulable nodes, Eq. 2)
         node_logits = self.policy.node_logits(graph, embeddings)
-        node_mask = graph.schedulable_mask
-        node_log_probs = masked_log_softmax(node_logits, node_mask)
-        node_row = self._choose(node_log_probs.data, node_mask, rng, greedy)
-        node = graph.nodes[node_row]
-        job_index = int(graph.job_ids[node_row])
-        job = graph.jobs[job_index]
+        return self.act_on_graph(
+            graph, embeddings, node_logits, observation, rng=rng, greedy=greedy,
+            training=training,
+        )
 
+    def _select_stage(
+        self,
+        graph: GraphFeatures,
+        node_logits,
+        node_rows: slice,
+        rng: np.random.Generator,
+        greedy: bool,
+        training: bool,
+    ):
+        """Stage selection (masked softmax over schedulable nodes, Eq. 2).
+
+        Operates on one observation's row range of a (possibly merged) node
+        logit vector; returns ``(node, job_index, log_prob, entropy)`` with
+        ``job_index`` a *global* job row, or ``None`` if nothing is
+        schedulable in the range.  The log-prob/entropy tensors are only
+        assembled when ``training`` — inference skips that autograd
+        bookkeeping entirely (the choice itself only needs the data).
+        """
+        node_mask = graph.schedulable_mask[node_rows]
+        if not node_mask.any():
+            return None
+        if not training:
+            # Inference: identical numbers via the graph-free numpy softmax.
+            log_probs = masked_log_softmax_data(
+                node_logits.data[node_rows], node_mask
+            )
+            node_row = self._choose(log_probs, node_mask, rng, greedy)
+            global_row = node_rows.start + node_row
+            return graph.nodes[global_row], int(graph.job_ids[global_row]), None, None
+        node_log_probs = masked_log_softmax(node_logits[node_rows], node_mask)
+        node_row = self._choose(node_log_probs.data, node_mask, rng, greedy)
+        global_row = node_rows.start + node_row
+        node = graph.nodes[global_row]
+        job_index = int(graph.job_ids[global_row])
         log_prob = node_log_probs[node_row]
         entropy = entropy_from_log_probs(node_log_probs, node_mask)
+        return node, job_index, log_prob, entropy
 
-        # --- parallelism-limit selection
+    def _select_limit(
+        self, limit_logits, limits: np.ndarray, rng, greedy: bool, training: bool
+    ):
+        """Pick a parallelism limit from its logits; returns (limit, lp, ent).
+
+        ``limit_logits`` is a Tensor when training (the log-prob must stay on
+        the autograd graph) and may be a plain ndarray at inference.
+        """
+        limit_mask = np.ones(len(limits), dtype=bool)
+        if not training:
+            data = (
+                limit_logits.data if isinstance(limit_logits, Tensor) else limit_logits
+            )
+            log_probs = masked_log_softmax_data(data, limit_mask)
+            limit_row = self._choose(log_probs, limit_mask, rng, greedy)
+            return int(limits[limit_row]), None, None
+        limit_log_probs = masked_log_softmax(limit_logits, limit_mask)
+        limit_row = self._choose(limit_log_probs.data, limit_mask, rng, greedy)
+        return (
+            int(limits[limit_row]),
+            limit_log_probs[limit_row],
+            entropy_from_log_probs(limit_log_probs, limit_mask),
+        )
+
+    def _select_class(
+        self,
+        graph: GraphFeatures,
+        embeddings,
+        job_index: int,
+        node: Node,
+        observation: Observation,
+        rng,
+        greedy: bool,
+        training: bool,
+    ):
+        """Executor-class selection (multi-resource only); ``None`` when n/a."""
+        if not (self.config.multi_resource and observation.executor_classes):
+            return None
+        classes = [
+            cls
+            for cls in observation.executor_classes
+            if cls.fits(node) and observation.free_executors_by_class.get(cls, 0) > 0
+        ]
+        if not classes:
+            return None
+        class_logits = self.policy.class_logits(graph, embeddings, job_index, classes)
+        class_mask = np.ones(len(classes), dtype=bool)
+        if not training:
+            log_probs = masked_log_softmax_data(class_logits.data, class_mask)
+            class_row = self._choose(log_probs, class_mask, rng, greedy)
+            return classes[class_row], None, None
+        class_log_probs = masked_log_softmax(class_logits, class_mask)
+        class_row = self._choose(class_log_probs.data, class_mask, rng, greedy)
+        return (
+            classes[class_row],
+            class_log_probs[class_row],
+            entropy_from_log_probs(class_log_probs, class_mask),
+        )
+
+    def act_on_graph(
+        self,
+        graph: GraphFeatures,
+        embeddings,
+        node_logits,
+        observation: Observation,
+        rng: Optional[np.random.Generator] = None,
+        greedy: bool = False,
+        training: bool = False,
+        node_rows: Optional[slice] = None,
+    ) -> tuple[Optional[Action], Optional[StepInfo]]:
+        """Select an action from a prebuilt forward pass.
+
+        ``graph`` / ``embeddings`` / ``node_logits`` may cover *more* than this
+        observation: when they come from a cross-session mega-graph, pass
+        ``node_rows`` to restrict the decision to one session's node-row range
+        (job and global rows follow from the graph's own segment ids).  The
+        stage softmax, limit head and class head then see exactly the rows a
+        per-session forward pass would have produced, which is what makes
+        batched decisions match serial ones at fixed seeds.
+        """
+        rng = rng if rng is not None else self._eval_rng
+        node_rows = node_rows if node_rows is not None else slice(0, graph.num_nodes)
+        selected = self._select_stage(
+            graph, node_logits, node_rows, rng, greedy, training
+        )
+        if selected is None:
+            return None, None
+        node, job_index, log_prob, entropy = selected
+        job = graph.jobs[job_index]
+
         if self.config.use_parallelism_control:
             limits = self.candidate_limits(job)
             limit_inputs = self._limit_inputs(limits)
             limit_logits = self.policy.limit_logits(graph, embeddings, job_index, limit_inputs)
-            limit_mask = np.ones(len(limits), dtype=bool)
-            limit_log_probs = masked_log_softmax(limit_logits, limit_mask)
-            limit_row = self._choose(limit_log_probs.data, limit_mask, rng, greedy)
-            parallelism_limit = int(limits[limit_row])
-            log_prob = log_prob + limit_log_probs[limit_row]
-            entropy = entropy + entropy_from_log_probs(limit_log_probs, limit_mask)
+            parallelism_limit, limit_lp, limit_ent = self._select_limit(
+                limit_logits, limits, rng, greedy, training
+            )
+            if training:
+                log_prob = log_prob + limit_lp
+                entropy = entropy + limit_ent
         else:
             parallelism_limit = self.total_executors
 
-        # --- executor-class selection (multi-resource only)
         executor_class = None
-        if self.config.multi_resource and observation.executor_classes:
-            classes = [
-                cls
-                for cls in observation.executor_classes
-                if cls.fits(node) and observation.free_executors_by_class.get(cls, 0) > 0
-            ]
-            if classes:
-                class_logits = self.policy.class_logits(graph, embeddings, job_index, classes)
-                class_mask = np.ones(len(classes), dtype=bool)
-                class_log_probs = masked_log_softmax(class_logits, class_mask)
-                class_row = self._choose(class_log_probs.data, class_mask, rng, greedy)
-                executor_class = classes[class_row]
-                log_prob = log_prob + class_log_probs[class_row]
-                entropy = entropy + entropy_from_log_probs(class_log_probs, class_mask)
+        class_choice = self._select_class(
+            graph, embeddings, job_index, node, observation, rng, greedy, training
+        )
+        if class_choice is not None:
+            executor_class, class_lp, class_ent = class_choice
+            if training:
+                log_prob = log_prob + class_lp
+                entropy = entropy + class_ent
 
         action = Action(
             node=node, parallelism_limit=parallelism_limit, executor_class=executor_class
         )
         info = StepInfo(log_prob=log_prob, entropy=entropy) if training else None
         return action, info
+
+    def act_batch(
+        self,
+        observations: Sequence[Observation],
+        rngs: Optional[Sequence[Optional[np.random.Generator]]] = None,
+        greedy: bool = False,
+        training: bool = False,
+        graph_caches: Optional[Sequence[Optional[GraphCache]]] = None,
+        merge_cache: Optional[MergedStructureCache] = None,
+    ) -> list[tuple[Optional[Action], Optional[StepInfo]]]:
+        """Decide for several independent observations in ONE batched forward.
+
+        The observations (typically one per served cluster session) merge into
+        a single disconnected mega-graph; the GNN message passing, job/global
+        summaries, the node-scoring head AND the parallelism-limit head all
+        run once over the union, then each observation's decision is split
+        back out of its row ranges with its own rng stream.  Per-graph global
+        embeddings and per-session softmax slices mean the decisions are the
+        same as calling :meth:`act` per observation with the same rngs and
+        caches — batching is pure throughput, never a behaviour change (see
+        ``docs/ARCHITECTURE.md``, "Serving layer").
+
+        ``rngs`` / ``graph_caches`` align with ``observations``; entries may be
+        ``None``.  Observations with no schedulable node yield ``(None, None)``.
+        """
+        rngs = rngs if rngs is not None else [None] * len(observations)
+        graph_caches = (
+            graph_caches if graph_caches is not None else [None] * len(observations)
+        )
+        if len(rngs) != len(observations) or len(graph_caches) != len(observations):
+            raise ValueError("observations, rngs and graph_caches must align")
+        if not greedy and any(rng is None for rng in rngs):
+            # Sampling from the shared eval rng would consume it in phase
+            # order (all stage draws, then all limit draws) instead of the
+            # serial per-observation order, silently breaking the
+            # batched == serial guarantee.  Greedy decisions draw nothing,
+            # so only sampling requires explicit per-observation streams.
+            raise ValueError(
+                "sampled act_batch needs one rng per observation; pass rngs="
+            )
+        results: list[tuple[Optional[Action], Optional[StepInfo]]] = [
+            (None, None)
+        ] * len(observations)
+        active = [
+            index
+            for index, observation in enumerate(observations)
+            if observation.schedulable_nodes
+        ]
+        if not active:
+            return results
+        components = [
+            self.build_features(observations[index], graph_cache=graph_caches[index])
+            for index in active
+        ]
+        batch = GraphBatch.merge(components, structure_cache=merge_cache)
+        graph = batch.features
+        embeddings = self.gnn(graph)
+        node_logits = self.policy.node_logits(graph, embeddings)
+
+        # Phase 1: per-session stage selection (each session's own rng draw).
+        stage_choices: list = []  # (index, node, job_index, log_prob, entropy)
+        for position, index in enumerate(active):
+            rng = rngs[index] if rngs[index] is not None else self._eval_rng
+            selected = self._select_stage(
+                graph, node_logits, batch.node_slices[position], rng, greedy, training
+            )
+            if selected is not None:
+                stage_choices.append((index, *selected))
+
+        # Phase 2: limit selection — ONE stacked pass through the limit head
+        # for every session's candidate limits, then per-session softmax +
+        # draw.  Each session's rng sees exactly the serial draw order (stage
+        # first, limit second).
+        limit_terms: dict[int, tuple] = {}
+        if self.config.use_parallelism_control and stage_choices:
+            candidate_limits = [
+                self.candidate_limits(graph.jobs[job_index])
+                for (_, _, job_index, _, _) in stage_choices
+            ]
+            job_rows = np.concatenate(
+                [
+                    np.full(len(limits), job_index, dtype=np.intp)
+                    for (_, _, job_index, _, _), limits in zip(
+                        stage_choices, candidate_limits
+                    )
+                ]
+            )
+            stacked_inputs = np.vstack(
+                [self._limit_inputs(limits) for limits in candidate_limits]
+            )
+            stacked_logits = self.policy.limit_logits_rows(
+                graph, embeddings, job_rows, stacked_inputs
+            )
+            offset = 0
+            for (index, _, _, _, _), limits in zip(stage_choices, candidate_limits):
+                rows = slice(offset, offset + len(limits))
+                offset += len(limits)
+                rng = rngs[index] if rngs[index] is not None else self._eval_rng
+                session_logits = (
+                    stacked_logits[rows] if training else stacked_logits.data[rows]
+                )
+                limit_terms[index] = self._select_limit(
+                    session_logits, limits, rng, greedy, training
+                )
+
+        # Phase 3: assemble actions (+ the rare multi-resource class head).
+        for index, node, job_index, log_prob, entropy in stage_choices:
+            rng = rngs[index] if rngs[index] is not None else self._eval_rng
+            if self.config.use_parallelism_control:
+                parallelism_limit, limit_lp, limit_ent = limit_terms[index]
+                if training:
+                    log_prob = log_prob + limit_lp
+                    entropy = entropy + limit_ent
+            else:
+                parallelism_limit = self.total_executors
+            executor_class = None
+            class_choice = self._select_class(
+                graph, embeddings, job_index, node, observations[index], rng, greedy,
+                training,
+            )
+            if class_choice is not None:
+                executor_class, class_lp, class_ent = class_choice
+                if training:
+                    log_prob = log_prob + class_lp
+                    entropy = entropy + class_ent
+            action = Action(
+                node=node,
+                parallelism_limit=parallelism_limit,
+                executor_class=executor_class,
+            )
+            info = StepInfo(log_prob=log_prob, entropy=entropy) if training else None
+            results[index] = (action, info)
+        return results
 
     @staticmethod
     def _choose(

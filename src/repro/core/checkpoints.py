@@ -20,16 +20,24 @@ from typing import Optional, Union
 import numpy as np
 
 from .agent import DecimaAgent, DecimaConfig
+from .features import FeatureConfig
 from .nn import Module
 
 __all__ = [
     "save_agent",
+    "load_agent",
     "load_agent_weights",
+    "load_latest",
     "AgentSpec",
     "agent_spec",
     "build_agent",
     "parameter_fingerprint",
+    "LATEST_POINTER",
 ]
+
+# File written next to every checkpoint so tools can find the newest one
+# without knowing its name (``load_latest`` reads it).
+LATEST_POINTER = "latest.json"
 
 
 def parameter_fingerprint(model: Module, decimals: int = 5) -> str:
@@ -77,22 +85,101 @@ def build_agent(
     return agent
 
 
-def save_agent(agent: DecimaAgent, path: Union[str, Path]) -> Path:
-    """Write the agent's parameters (and a config summary) to ``path`` (.npz)."""
+def _config_to_jsonable(config: DecimaConfig) -> dict:
+    """Full architecture description of ``config`` as plain JSON types.
+
+    ``asdict`` already recurses into the nested :class:`FeatureConfig`; tuples
+    become lists on the JSON side and are restored by
+    :func:`_config_from_jsonable`.
+    """
+    return asdict(config)
+
+
+def _config_from_jsonable(payload: dict) -> DecimaConfig:
+    """Rebuild a :class:`DecimaConfig` from checkpoint metadata.
+
+    Unknown keys are ignored (newer checkpoints read by older code) and
+    missing keys keep their defaults (older checkpoints, which only stored
+    scalar fields, read by newer code).
+    """
+    known = {field.name for field in DecimaConfig.__dataclass_fields__.values()}
+    kwargs = {key: value for key, value in payload.items() if key in known}
+    if isinstance(kwargs.get("feature"), dict):
+        feature_known = {f.name for f in FeatureConfig.__dataclass_fields__.values()}
+        kwargs["feature"] = FeatureConfig(
+            **{k: v for k, v in kwargs["feature"].items() if k in feature_known}
+        )
+    else:
+        kwargs.pop("feature", None)
+    if "hidden_sizes" in kwargs:
+        kwargs["hidden_sizes"] = tuple(kwargs["hidden_sizes"])
+    return DecimaConfig(**kwargs)
+
+
+def save_agent(
+    agent: DecimaAgent, path: Union[str, Path], update_latest: bool = True
+) -> Path:
+    """Write the agent's parameters and full config to ``path`` (.npz).
+
+    Unless ``update_latest`` is false, a ``latest.json`` pointer is (re)written
+    next to the checkpoint so :func:`load_latest` can start from the run
+    directory without knowing the checkpoint's name.
+    """
     path = Path(path)
+    if path.suffix != ".npz":
+        # np.savez appends ".npz" itself when missing; normalise first so the
+        # returned path and the latest.json pointer name the real file.
+        path = path.with_name(path.name + ".npz")
     path.parent.mkdir(parents=True, exist_ok=True)
     state = agent.state_dict()
     meta = {
         "total_executors": agent.total_executors,
         "num_parameters": agent.num_parameters(),
-        "config": {
-            key: value
-            for key, value in asdict(agent.config).items()
-            if isinstance(value, (int, float, bool, str, type(None)))
-        },
+        "config": _config_to_jsonable(agent.config),
+        "fingerprint": parameter_fingerprint(agent),
     }
     np.savez(path, __meta__=json.dumps(meta), **state)
+    if update_latest:
+        pointer = path.parent / LATEST_POINTER
+        pointer.write_text(
+            json.dumps({"checkpoint": path.name, "fingerprint": meta["fingerprint"]},
+                       indent=2, sort_keys=True)
+            + "\n"
+        )
     return path
+
+
+def _read_meta(archive) -> dict:
+    if "__meta__" not in archive.files:
+        raise ValueError("checkpoint has no __meta__ entry; was it saved by save_agent?")
+    return json.loads(str(archive["__meta__"]))
+
+
+def load_agent(path: Union[str, Path]) -> DecimaAgent:
+    """Reconstruct an agent (architecture AND weights) from a checkpoint.
+
+    Unlike :func:`load_agent_weights`, no pre-built agent is needed: the
+    architecture is rebuilt from the checkpoint's own metadata.
+    """
+    archive = np.load(Path(path), allow_pickle=False)
+    meta = _read_meta(archive)
+    config = _config_from_jsonable(meta.get("config", {}))
+    agent = DecimaAgent(int(meta["total_executors"]), config=config)
+    state = {key: archive[key] for key in archive.files if key != "__meta__"}
+    agent.load_state_dict(state)
+    return agent
+
+
+def load_latest(directory: Union[str, Path]) -> DecimaAgent:
+    """Load the checkpoint the directory's ``latest.json`` pointer names."""
+    directory = Path(directory)
+    pointer = directory / LATEST_POINTER
+    if not pointer.exists():
+        raise FileNotFoundError(
+            f"{pointer} not found — save a checkpoint with save_agent() first"
+        )
+    payload = json.loads(pointer.read_text())
+    return load_agent(directory / payload["checkpoint"])
 
 
 def load_agent_weights(agent: DecimaAgent, path: Union[str, Path]) -> DecimaAgent:

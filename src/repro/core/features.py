@@ -25,7 +25,7 @@ inference hot path cheap (§5.1, Fig. 5a).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -38,8 +38,11 @@ __all__ = [
     "GraphStructure",
     "GraphFeatures",
     "GraphCache",
+    "GraphBatch",
+    "MergedStructureCache",
     "build_graph_features",
     "compute_node_heights",
+    "merge_structures",
 ]
 
 
@@ -213,6 +216,13 @@ class GraphStructure:
             self.node_heights, self.edge_parent_rows, self.edge_child_rows
         )
         self._adjacency: Optional[np.ndarray] = None
+        # Graph segmentation: a structure built from one observation is a
+        # single graph (all jobs belong to segment 0).  Merged structures
+        # (cross-session batching, :func:`merge_structures`) assign every job
+        # the index of the component graph it came from, so the GNN can keep
+        # one *per-graph* global embedding instead of mixing sessions.
+        self.num_graphs = 1
+        self.job_graph_ids = np.zeros(len(self.jobs), dtype=np.intp)
 
     @property
     def num_nodes(self) -> int:
@@ -300,6 +310,14 @@ class GraphFeatures:
     @property
     def num_jobs(self) -> int:
         return self.structure.num_jobs
+
+    @property
+    def num_graphs(self) -> int:
+        return self.structure.num_graphs
+
+    @property
+    def job_graph_ids(self) -> np.ndarray:
+        return self.structure.job_graph_ids
 
     def row_of(self, node: Node) -> int:
         return self.structure.node_index[id(node)]
@@ -415,3 +433,169 @@ class GraphCache:
             ),
             schedulable_mask=_schedulable_mask(structure, observation),
         )
+
+
+# --------------------------------------------------------- cross-graph merging
+def merge_structures(structures: Sequence[GraphStructure]) -> GraphStructure:
+    """Concatenate several :class:`GraphStructure`\\ s into one disconnected graph.
+
+    Node rows (and job positions) of component ``k`` are offset by the totals
+    of components ``0..k-1``; no per-node recomputation happens — heights are
+    component-local already, and the per-height frontier levels are merged by
+    offsetting their index arrays.  The result is exactly the structure that
+    ``GraphStructure(jobs_0 + jobs_1 + ...)`` would build, except that
+    ``job_graph_ids`` records which component each job came from (so the GNN
+    keeps one global embedding per component instead of one overall).
+    """
+    if not structures:
+        raise ValueError("merge_structures needs at least one structure")
+    merged = object.__new__(GraphStructure)
+    merged.jobs = [job for structure in structures for job in structure.jobs]
+    merged.nodes = [node for structure in structures for node in structure.nodes]
+    merged.node_index = {id(node): row for row, node in enumerate(merged.nodes)}
+    merged.job_position = {id(job): pos for pos, job in enumerate(merged.jobs)}
+
+    node_offsets = np.cumsum([0] + [s.num_nodes for s in structures])
+    job_offsets = np.cumsum([0] + [s.num_jobs for s in structures])
+    merged.job_ids = np.concatenate(
+        [s.job_ids + job_offsets[k] for k, s in enumerate(structures)]
+    ).astype(np.intp)
+    merged.edge_parent_rows = np.concatenate(
+        [s.edge_parent_rows + node_offsets[k] for k, s in enumerate(structures)]
+    ).astype(np.intp)
+    merged.edge_child_rows = np.concatenate(
+        [s.edge_child_rows + node_offsets[k] for k, s in enumerate(structures)]
+    ).astype(np.intp)
+    merged.num_tasks = np.concatenate([s.num_tasks for s in structures])
+    merged.task_durations = np.concatenate([s.task_durations for s in structures])
+    merged.node_heights = np.concatenate([s.node_heights for s in structures])
+    merged._adjacency = None
+    merged.num_graphs = len(structures)
+    merged.job_graph_ids = np.concatenate(
+        [np.full(s.num_jobs, k, dtype=np.intp) for k, s in enumerate(structures)]
+    )
+
+    # Merge the per-height frontier levels.  Component node rows are strictly
+    # increasing with k, so concatenating each level's (sorted) ``target_rows``
+    # and ``child_rows`` with their node offsets keeps them sorted — the merged
+    # levels are identical (same values, same edge order) to what
+    # ``_build_frontier_levels`` would produce from the merged edge arrays.
+    by_height: dict[int, list[tuple[int, FrontierLevel]]] = {}
+    for k, structure in enumerate(structures):
+        for level in structure.frontier_levels:
+            by_height.setdefault(level.height, []).append((k, level))
+    merged.frontier_levels = []
+    for height in sorted(by_height):
+        parts = by_height[height]
+        target_counts = np.cumsum([0] + [len(lvl.target_rows) for _, lvl in parts])
+        child_counts = np.cumsum([0] + [len(lvl.child_rows) for _, lvl in parts])
+        merged.frontier_levels.append(
+            FrontierLevel(
+                height=height,
+                target_rows=np.concatenate(
+                    [lvl.target_rows + node_offsets[k] for k, lvl in parts]
+                ).astype(np.intp),
+                child_rows=np.concatenate(
+                    [lvl.child_rows + node_offsets[k] for k, lvl in parts]
+                ).astype(np.intp),
+                message_rows=np.concatenate(
+                    [lvl.message_rows + child_counts[i] for i, (_, lvl) in enumerate(parts)]
+                ).astype(np.intp),
+                target_segments=np.concatenate(
+                    [lvl.target_segments + target_counts[i] for i, (_, lvl) in enumerate(parts)]
+                ).astype(np.intp),
+            )
+        )
+    return merged
+
+
+class MergedStructureCache:
+    """Reuse a merged :class:`GraphStructure` while its components are stable.
+
+    The request broker merges the per-session structures on every batched
+    decision; between decisions the sessions' own :class:`GraphCache`\\ s keep
+    their structures alive and unchanged, so the merged structure (keyed on
+    the identity *sequence* of component structures) is almost always a hit.
+    Strong references to the components make the ``id()`` key collision-safe.
+    """
+
+    def __init__(self) -> None:
+        self._components: Optional[tuple[GraphStructure, ...]] = None
+        self._merged: Optional[GraphStructure] = None
+        self.num_rebuilds = 0
+
+    def reset(self) -> None:
+        self._components = None
+        self._merged = None
+
+    def merged_structure(self, structures: Sequence[GraphStructure]) -> GraphStructure:
+        components = tuple(structures)
+        if self._merged is None or self._components != components:
+            self._merged = merge_structures(components)
+            self._components = components
+            self.num_rebuilds += 1
+        return self._merged
+
+
+class GraphBatch:
+    """Several sessions' :class:`GraphFeatures` fused into one mega-graph.
+
+    ``features`` is a regular :class:`GraphFeatures` over the disconnected
+    union (so the GNN and the node-scoring head run on it unchanged, in one
+    pass); ``node_slices`` / ``job_slices`` map each component back to its row
+    ranges for splitting per-session decisions out of the batched forward.
+    """
+
+    __slots__ = ("features", "components", "node_slices", "job_slices")
+
+    def __init__(
+        self,
+        features: GraphFeatures,
+        components: Sequence[GraphFeatures],
+        node_slices: list[slice],
+        job_slices: list[slice],
+    ):
+        self.features = features
+        self.components = list(components)
+        self.node_slices = node_slices
+        self.job_slices = job_slices
+
+    @property
+    def num_components(self) -> int:
+        return len(self.components)
+
+    @classmethod
+    def merge(
+        cls,
+        components: Sequence[GraphFeatures],
+        structure_cache: Optional[MergedStructureCache] = None,
+    ) -> "GraphBatch":
+        """Fuse per-session features into one batch (single components pass through)."""
+        if not components:
+            raise ValueError("GraphBatch.merge needs at least one component")
+        node_slices = []
+        job_slices = []
+        node_cursor = job_cursor = 0
+        for component in components:
+            node_slices.append(slice(node_cursor, node_cursor + component.num_nodes))
+            job_slices.append(slice(job_cursor, job_cursor + component.num_jobs))
+            node_cursor += component.num_nodes
+            job_cursor += component.num_jobs
+        if len(components) == 1:
+            return cls(components[0], components, node_slices, job_slices)
+        widths = {component.node_features.shape[1] for component in components}
+        if len(widths) > 1:
+            raise ValueError(
+                f"cannot merge graphs with different feature widths: {sorted(widths)}"
+            )
+        structures = [component.structure for component in components]
+        if structure_cache is not None:
+            structure = structure_cache.merged_structure(structures)
+        else:
+            structure = merge_structures(structures)
+        features = GraphFeatures(
+            structure=structure,
+            node_features=np.vstack([c.node_features for c in components]),
+            schedulable_mask=np.concatenate([c.schedulable_mask for c in components]),
+        )
+        return cls(features, components, node_slices, job_slices)

@@ -15,6 +15,7 @@ critical path (Appendix E).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -46,11 +47,18 @@ class GNNConfig:
 
 @dataclass
 class GraphEmbeddings:
-    """Outputs of the graph neural network for one observation."""
+    """Outputs of the graph neural network for one observation.
+
+    ``global_embedding`` has one row per *graph* in the input: a single row
+    for an ordinary observation, and one row per component graph (session)
+    when the input is a cross-session :class:`~repro.core.features.GraphBatch`
+    mega-graph — each session's jobs summarise into their own ``z``, exactly
+    as if the sessions had been embedded separately.
+    """
 
     node_embeddings: Tensor   # (N, D)
     job_embeddings: Tensor    # (J, D)
-    global_embedding: Tensor  # (1, D)
+    global_embedding: Tensor  # (G, D); G = 1 for a single observation
 
 
 class GraphNeuralNetwork(Module):
@@ -135,11 +143,26 @@ class GraphNeuralNetwork(Module):
             return self.job_g(summed)
         return summed
 
-    def global_embedding(self, job_embeddings: Tensor) -> Tensor:
-        """Global summary z: aggregate all per-job embeddings."""
+    def global_embedding(
+        self, job_embeddings: Tensor, graph: Optional[GraphFeatures] = None
+    ) -> Tensor:
+        """Global summary z: aggregate per-job embeddings, one row per graph.
+
+        For a plain observation every job belongs to graph 0 and the result is
+        the familiar ``(1, D)`` summary.  For a merged cross-session batch the
+        jobs segment by ``graph.job_graph_ids`` — each session's jobs sum into
+        that session's own row, in the same job order as a per-session forward
+        pass, so batching changes nothing about the values.
+        """
         transformed = self.global_f(job_embeddings)
         num_jobs = job_embeddings.shape[0]
-        summed = segment_sum(transformed, np.zeros(num_jobs, dtype=np.intp), 1)
+        if graph is None or graph.num_graphs == 1:
+            segments = np.zeros(num_jobs, dtype=np.intp)
+            num_graphs = 1
+        else:
+            segments = graph.job_graph_ids
+            num_graphs = graph.num_graphs
+        summed = segment_sum(transformed, segments, num_graphs)
         if self.config.two_level_aggregation:
             return self.global_g(summed)
         return summed
@@ -147,5 +170,5 @@ class GraphNeuralNetwork(Module):
     def __call__(self, graph: GraphFeatures) -> GraphEmbeddings:
         nodes = self.node_embeddings(graph)
         jobs = self.job_embeddings(graph, nodes)
-        cluster = self.global_embedding(jobs)
+        cluster = self.global_embedding(jobs, graph)
         return GraphEmbeddings(node_embeddings=nodes, job_embeddings=jobs, global_embedding=cluster)

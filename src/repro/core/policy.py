@@ -72,7 +72,9 @@ class PolicyNetwork(Module):
         if self.config.use_graph_embedding:
             node_emb = embeddings.node_embeddings
             job_emb = embeddings.job_embeddings[graph.job_ids]
-            global_emb = embeddings.global_embedding[np.zeros(num_nodes, dtype=np.intp)]
+            # Each node reads the global embedding of *its* graph — row 0 for a
+            # plain observation, the owning session's row in a merged batch.
+            global_emb = embeddings.global_embedding[graph.job_graph_ids[graph.job_ids]]
         else:
             zeros = Tensor(np.zeros((num_nodes, self.config.embedding_dim)))
             node_emb = job_emb = global_emb = zeros
@@ -94,21 +96,45 @@ class PolicyNetwork(Module):
         one-hot row when ``limit_input_dim > 1`` (the ablation of Fig. 15a).
         """
         limit_inputs = np.atleast_2d(np.asarray(limit_inputs, dtype=np.float64))
-        num_limits = limit_inputs.shape[0]
+        rows = np.full(limit_inputs.shape[0], job_index, dtype=np.intp)
+        # limit_logits_rows validates the input width.
+        return self.limit_logits_rows(graph, embeddings, rows, limit_inputs)
+
+    def limit_logits_rows(
+        self,
+        graph: GraphFeatures,
+        embeddings: GraphEmbeddings,
+        job_rows: np.ndarray,
+        limit_inputs: np.ndarray,
+    ) -> Tensor:
+        """Score arbitrary (job, limit) pairs in one pass through ``w``.
+
+        Row ``i`` scores ``limit_inputs[i]`` for job row ``job_rows[i]`` — the
+        cross-session request broker stacks every pending session's candidate
+        limits into a single call, then splits the logits back per session.
+        Row results are independent, so this is numerically the same as one
+        :meth:`limit_logits` call per job.
+        """
+        limit_inputs = np.atleast_2d(np.asarray(limit_inputs, dtype=np.float64))
+        job_rows = np.asarray(job_rows, dtype=np.intp)
+        num_rows = len(job_rows)
+        if limit_inputs.shape[0] != num_rows:
+            raise ValueError(
+                f"{num_rows} job rows but {limit_inputs.shape[0]} limit-input rows"
+            )
         if limit_inputs.shape[1] != self.config.limit_input_dim:
             raise ValueError(
                 f"limit inputs have width {limit_inputs.shape[1]}, "
                 f"policy expects {self.config.limit_input_dim}"
             )
         if self.config.use_graph_embedding:
-            rows = np.full(num_limits, job_index, dtype=np.intp)
-            job_emb = embeddings.job_embeddings[rows]
-            global_emb = embeddings.global_embedding[np.zeros(num_limits, dtype=np.intp)]
+            job_emb = embeddings.job_embeddings[job_rows]
+            global_emb = embeddings.global_embedding[graph.job_graph_ids[job_rows]]
         else:
-            zeros = Tensor(np.zeros((num_limits, self.config.embedding_dim)))
+            zeros = Tensor(np.zeros((num_rows, self.config.embedding_dim)))
             job_emb = global_emb = zeros
         inputs = concat([job_emb, global_emb, Tensor(limit_inputs)], axis=1)
-        return self.limit_score(inputs).reshape(num_limits)
+        return self.limit_score(inputs).reshape(num_rows)
 
     # ---------------------------------------------------------------- classes
     def class_logits(
@@ -125,7 +151,10 @@ class PolicyNetwork(Module):
         if self.config.use_graph_embedding:
             rows = np.full(num_classes, job_index, dtype=np.intp)
             job_emb = embeddings.job_embeddings[rows]
-            global_emb = embeddings.global_embedding[np.zeros(num_classes, dtype=np.intp)]
+            global_row = int(graph.job_graph_ids[job_index])
+            global_emb = embeddings.global_embedding[
+                np.full(num_classes, global_row, dtype=np.intp)
+            ]
         else:
             zeros = Tensor(np.zeros((num_classes, self.config.embedding_dim)))
             job_emb = global_emb = zeros

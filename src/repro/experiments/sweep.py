@@ -25,24 +25,14 @@ import traceback
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
-from ..core.agent import DecimaAgent, DecimaConfig
 from ..core.parallel import PipeWorkerPool
-from ..schedulers import (
-    FairScheduler,
-    FIFOScheduler,
-    GrapheneScheduler,
-    NaiveWeightedFairScheduler,
-    RandomScheduler,
-    SJFCPScheduler,
-    TetrisScheduler,
-    WeightedFairScheduler,
-)
-from ..schedulers.base import Scheduler
+from ..schedulers import make_scheduler, scheduler_names
 from ..simulator.environment import SchedulingEnvironment, SimulatorConfig
+from ..simulator.metrics import latency_histogram
 from .runner import run_episode
 from .scenarios import scenario_registry
 
@@ -59,45 +49,13 @@ __all__ = [
 
 _BOOTSTRAP_SAMPLES = 1000
 
-
-# ------------------------------------------------------------------ schedulers
-def _make_decima(config: SimulatorConfig) -> Scheduler:
-    """A randomly initialized Decima agent (greedy, deterministic evaluation).
-
-    The class-selection head is enabled automatically on clusters with more
-    than one executor class (§7.3).
-    """
-    classes = config.executor_classes or []
-    multi = len({cls for cls, _ in classes}) > 1
-    return DecimaAgent(
-        total_executors=config.num_executors,
-        config=DecimaConfig(seed=0, multi_resource=multi),
-    )
-
-
-_SCHEDULER_BUILDERS: dict[str, Callable[[SimulatorConfig], Scheduler]] = {
-    "fifo": lambda config: FIFOScheduler(),
-    "fair": lambda config: FairScheduler(),
-    "weighted_fair": lambda config: WeightedFairScheduler(),
-    "naive_weighted_fair": lambda config: NaiveWeightedFairScheduler(),
-    "sjf_cp": lambda config: SJFCPScheduler(),
-    "graphene": lambda config: GrapheneScheduler(),
-    "tetris": lambda config: TetrisScheduler(),
-    "random": lambda config: RandomScheduler(),
-    "decima": _make_decima,
-}
-
-SCHEDULER_NAMES = tuple(_SCHEDULER_BUILDERS)
-
-
-def make_scheduler(name: str, config: SimulatorConfig) -> Scheduler:
-    """Instantiate the named scheduler for a scenario's simulator config."""
-    try:
-        builder = _SCHEDULER_BUILDERS[name]
-    except KeyError:
-        known = ", ".join(SCHEDULER_NAMES)
-        raise KeyError(f"unknown scheduler {name!r}; known schedulers: {known}") from None
-    return builder(config)
+# The name → factory mapping now lives in the scheduler registry
+# (``repro.schedulers.register_scheduler``), shared with the policy-serving
+# fallback path.  This tuple is a snapshot taken at import time, kept as a
+# stable import point for existing tests; anything that must see schedulers
+# registered later should call ``scheduler_names()`` instead (run_sweep's
+# validation and the sweep CLI's help text both do).
+SCHEDULER_NAMES = scheduler_names()
 
 
 # ------------------------------------------------------------------- the cell
@@ -304,6 +262,9 @@ def _aggregate_scheduler(
         "mean_jct": float(np.mean(seed_jcts)) if seed_jcts else None,
         "jct_ci95": _bootstrap_ci(seed_jcts, ci_rng),
         "p95_jct": float(np.percentile(pooled_jcts, 95)) if pooled_jcts else None,
+        # Same p50/p95/p99 summary the serving layer reports for its
+        # per-request latencies (simulator.metrics.latency_histogram).
+        "jct_histogram": latency_histogram(pooled_jcts),
         "mean_makespan": float(np.mean(makespans)) if makespans else None,
         "total_finished": int(sum(r.num_finished for r in results)),
         "total_unfinished": int(sum(r.num_unfinished for r in results)),
@@ -391,8 +352,8 @@ def run_sweep(
             known = ", ".join(sorted(registry))
             raise KeyError(f"unknown scenario {scenario!r}; registered scenarios: {known}")
     for scheduler in schedulers:
-        if scheduler not in _SCHEDULER_BUILDERS:
-            known = ", ".join(SCHEDULER_NAMES)
+        if scheduler not in scheduler_names():
+            known = ", ".join(scheduler_names())
             raise KeyError(f"unknown scheduler {scheduler!r}; known schedulers: {known}")
     cells = [
         SweepCell(scenario=scenario, scheduler=scheduler, seed=int(seed))

@@ -1,5 +1,19 @@
-"""Baseline scheduling heuristics evaluated against Decima (§7.1, Appendix H)."""
+"""Baseline scheduling heuristics evaluated against Decima (§7.1, Appendix H).
 
+Besides the scheduler classes themselves, this package owns the *scheduler
+registry*: the single name → factory mapping used everywhere a scheduler is
+picked by name — the sweep engine's scenario matrix, CLI ``--schedulers``
+flags, and the policy-serving layer's SLO fallback path.  A factory takes the
+target cluster's :class:`~repro.simulator.environment.SimulatorConfig` (some
+schedulers, like Decima's multi-resource variant, configure themselves from
+it) and returns a fresh :class:`Scheduler`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..simulator.environment import SimulatorConfig
 from .base import Scheduler, best_fit_class, critical_path_node, runnable_by_job
 from .exhaustive import StaticOrderScheduler, exhaustive_search
 from .fair import (
@@ -30,4 +44,69 @@ __all__ = [
     "RandomScheduler",
     "SJFCPScheduler",
     "TetrisScheduler",
+    "SchedulerFactory",
+    "register_scheduler",
+    "make_scheduler",
+    "scheduler_names",
 ]
+
+SchedulerFactory = Callable[[SimulatorConfig], Scheduler]
+
+_REGISTRY: Dict[str, SchedulerFactory] = {}
+
+
+def register_scheduler(
+    name: str, factory: SchedulerFactory, overwrite: bool = False
+) -> None:
+    """Add a named scheduler factory to the registry.
+
+    Registration is what makes a scheduler reachable from the sweep CLI and
+    usable as a serving-layer fallback.  Duplicate names raise unless
+    ``overwrite`` is set (tests and experiments may shadow a builtin).
+    """
+    if not overwrite and name in _REGISTRY:
+        raise ValueError(f"scheduler {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def make_scheduler(name: str, config: SimulatorConfig) -> Scheduler:
+    """Instantiate the named scheduler for a cluster's simulator config."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(scheduler_names())
+        raise KeyError(f"unknown scheduler {name!r}; known schedulers: {known}") from None
+    return factory(config)
+
+
+def scheduler_names() -> tuple:
+    """Registered scheduler names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def _make_decima(config: SimulatorConfig) -> Scheduler:
+    """A randomly initialized Decima agent (greedy, deterministic evaluation).
+
+    The class-selection head is enabled automatically on clusters with more
+    than one executor class (§7.3).  Imported lazily: ``repro.core.agent``
+    itself imports this package for the :class:`Scheduler` interface.
+    """
+    from ..core.agent import DecimaAgent, DecimaConfig
+
+    classes = config.executor_classes or []
+    multi = len({cls for cls, _ in classes}) > 1
+    return DecimaAgent(
+        total_executors=config.num_executors,
+        config=DecimaConfig(seed=0, multi_resource=multi),
+    )
+
+
+register_scheduler("fifo", lambda config: FIFOScheduler())
+register_scheduler("fair", lambda config: FairScheduler())
+register_scheduler("weighted_fair", lambda config: WeightedFairScheduler())
+register_scheduler("naive_weighted_fair", lambda config: NaiveWeightedFairScheduler())
+register_scheduler("sjf_cp", lambda config: SJFCPScheduler())
+register_scheduler("graphene", lambda config: GrapheneScheduler())
+register_scheduler("tetris", lambda config: TetrisScheduler())
+register_scheduler("random", lambda config: RandomScheduler())
+register_scheduler("decima", _make_decima)

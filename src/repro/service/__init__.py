@@ -1,0 +1,55 @@
+"""Policy-serving subsystem: serve a trained Decima agent to many clusters.
+
+The training/evaluation side of this repo exercises the policy inside offline
+episodes; this package turns the same agent into a **long-lived scheduling
+service**.  Many concurrent *cluster sessions* (each a client cluster with
+its own jobs, rng stream and incremental graph cache) connect over a
+newline-delimited-JSON TCP protocol; a request broker coalesces their pending
+observations into one disconnected mega-graph and answers them with a single
+batched GNN forward — with the documented guarantee that batching never
+changes any session's decisions.  A per-request latency SLO guards the policy
+path: when it breaches, a circuit-breaker temporarily routes decisions to the
+session's registered fallback heuristic (any name in the scheduler registry)
+so clusters keep scheduling.
+
+Layers (see ``docs/ARCHITECTURE.md``, "Serving layer"):
+
+* :mod:`~repro.service.protocol` — the wire format (observation snapshots in,
+  actions out);
+* :mod:`~repro.service.session`  — per-cluster shadow job DAGs + policy state;
+* :mod:`~repro.service.batcher`  — cross-session batching and the SLO breaker;
+* :mod:`~repro.service.server` / :mod:`~repro.service.client` — the TCP
+  service and its synchronous client (plus the episode driver);
+* :mod:`~repro.service.loadgen`  — the synthetic multi-session load generator.
+"""
+
+from .batcher import CircuitBreaker, DecisionRequest, DecisionResult, RequestBroker
+from .client import PolicyClient, decode_action, drive_episode
+from .loadgen import run_load
+from .protocol import (
+    ProtocolError,
+    encode_message,
+    encode_observation,
+    read_message,
+    write_message,
+)
+from .server import PolicyServer
+from .session import SessionState
+
+__all__ = [
+    "CircuitBreaker",
+    "DecisionRequest",
+    "DecisionResult",
+    "RequestBroker",
+    "PolicyClient",
+    "decode_action",
+    "drive_episode",
+    "run_load",
+    "ProtocolError",
+    "encode_message",
+    "encode_observation",
+    "read_message",
+    "write_message",
+    "PolicyServer",
+    "SessionState",
+]

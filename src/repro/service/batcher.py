@@ -1,0 +1,257 @@
+"""Cross-session request batching and the SLO circuit-breaker.
+
+The broker is the serving layer's inference engine.  It takes whatever
+``decide`` requests are pending — one per session at most — and answers them
+either through the **policy path** (the hosted Decima agent; by default one
+batched GNN forward over the disconnected union of all pending sessions'
+graphs, see :meth:`~repro.core.agent.DecimaAgent.act_batch`) or, when the
+policy path has been breaching its latency SLO, through each session's
+registered **fallback heuristic** (FIFO / weighted-fair / anything in the
+scheduler registry).
+
+The circuit-breaker is deliberately counted in *decisions*, not wall-clock:
+``breach_threshold`` consecutive over-deadline policy passes open it,
+``cooldown_decisions`` fallback answers later it half-opens and lets one
+policy pass try again (closing on success, reopening on another breach).
+Decision-counted state machines are deterministic under test — a slowed
+policy path trips the breaker after exactly the same number of requests every
+run.
+
+Batching is *never* a behaviour change: each session's decisions come out of
+its own row slice of the merged forward with its own rng stream, so a
+session's action sequence is identical whether its requests were answered
+alone, in any batch composition, or through the serial reference path
+(``batched=False``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.agent import DecimaAgent
+from ..core.features import MergedStructureCache
+from ..simulator.environment import Action, Observation
+from .session import SessionState
+
+__all__ = ["CircuitBreaker", "DecisionRequest", "DecisionResult", "RequestBroker"]
+
+
+class CircuitBreaker:
+    """Decision-counted SLO breaker for the shared policy path."""
+
+    def __init__(
+        self,
+        slo_seconds: float,
+        breach_threshold: int = 3,
+        cooldown_decisions: int = 20,
+    ):
+        if slo_seconds <= 0:
+            raise ValueError("the SLO must be positive")
+        if breach_threshold < 1 or cooldown_decisions < 1:
+            raise ValueError("breach_threshold and cooldown_decisions must be >= 1")
+        self.slo_seconds = float(slo_seconds)
+        self.breach_threshold = int(breach_threshold)
+        self.cooldown_decisions = int(cooldown_decisions)
+        self.state = "closed"
+        self.num_opens = 0
+        self._consecutive_breaches = 0
+        self._cooldown_remaining = 0
+
+    def allow_policy(self) -> bool:
+        """True when the next decision should try the policy path.
+
+        While open, the policy path is skipped until the cooldown has been
+        spent on fallback decisions; the first decision after that is the
+        half-open trial.
+        """
+        return self.state == "closed" or self._cooldown_remaining <= 0
+
+    def record_policy(self, latency_seconds: float) -> None:
+        breached = latency_seconds > self.slo_seconds
+        if self.state == "open":
+            # Half-open trial: one breach reopens immediately, success closes.
+            if breached:
+                self._open()
+            else:
+                self.state = "closed"
+                self._consecutive_breaches = 0
+            return
+        if breached:
+            self._consecutive_breaches += 1
+            if self._consecutive_breaches >= self.breach_threshold:
+                self._open()
+        else:
+            self._consecutive_breaches = 0
+
+    def record_fallback(self) -> None:
+        if self.state == "open" and self._cooldown_remaining > 0:
+            self._cooldown_remaining -= 1
+
+    def _open(self) -> None:
+        self.state = "open"
+        self._cooldown_remaining = self.cooldown_decisions
+        self._consecutive_breaches = 0
+        self.num_opens += 1
+
+    def stats(self) -> dict:
+        return {
+            "state": self.state,
+            "slo_seconds": self.slo_seconds,
+            "num_opens": self.num_opens,
+            "cooldown_remaining": self._cooldown_remaining,
+        }
+
+
+@dataclass
+class DecisionRequest:
+    """One pending ``decide``: a session and its reconciled observation."""
+
+    session: SessionState
+    observation: Observation
+    request_id: Optional[int] = None
+
+
+@dataclass
+class DecisionResult:
+    """Outcome of one decision, ready for wire encoding."""
+
+    action: Optional[Action]
+    source: str  # "policy" | "fallback" | "noop"
+    latency_seconds: float
+
+
+class RequestBroker:
+    """Answer pending decision requests through one (batched) policy pass."""
+
+    def __init__(
+        self,
+        agent: DecimaAgent,
+        batched: bool = True,
+        greedy: bool = True,
+        breaker: Optional[CircuitBreaker] = None,
+    ):
+        self.agent = agent
+        self.batched = bool(batched)
+        self.greedy = bool(greedy)
+        self.breaker = breaker
+        self.merge_cache = MergedStructureCache()
+        self.num_batches = 0
+        self.max_batch_size = 0
+
+    # ----------------------------------------------------------------- policy
+    def _policy_batched(
+        self, requests: Sequence[DecisionRequest], record_to_breaker: bool
+    ) -> list[DecisionResult]:
+        start = time.perf_counter()
+        decisions = self.agent.act_batch(
+            [request.observation for request in requests],
+            rngs=[request.session.rng for request in requests],
+            graph_caches=[request.session.graph_cache for request in requests],
+            greedy=self.greedy,
+            merge_cache=self.merge_cache,
+        )
+        elapsed = time.perf_counter() - start
+        # The batch ran as one forward: every request experienced its latency.
+        if record_to_breaker and self.breaker is not None:
+            self.breaker.record_policy(elapsed)
+        results = []
+        for request, (action, _) in zip(requests, decisions):
+            request.session.record_decision("policy", elapsed)
+            results.append(DecisionResult(action, "policy", elapsed))
+        return results
+
+    def _policy_serial(
+        self, request: DecisionRequest, record_to_breaker: bool
+    ) -> DecisionResult:
+        start = time.perf_counter()
+        action, _ = self.agent.act(
+            request.observation,
+            rng=request.session.rng,
+            greedy=self.greedy,
+            graph_cache=request.session.graph_cache,
+        )
+        elapsed = time.perf_counter() - start
+        if record_to_breaker and self.breaker is not None:
+            self.breaker.record_policy(elapsed)
+        request.session.record_decision("policy", elapsed)
+        return DecisionResult(action, "policy", elapsed)
+
+    def _fallback(self, request: DecisionRequest) -> DecisionResult:
+        start = time.perf_counter()
+        action = request.session.fallback.schedule(request.observation)
+        elapsed = time.perf_counter() - start
+        if self.breaker is not None:
+            self.breaker.record_fallback()
+        request.session.record_decision("fallback", elapsed)
+        return DecisionResult(action, "fallback", elapsed)
+
+    # ----------------------------------------------------------------- decide
+    def decide(self, requests: Sequence[DecisionRequest]) -> list[DecisionResult]:
+        """Answer every request; no request is ever dropped.
+
+        Requests must come from distinct sessions (the server defers a
+        session's next request until its previous one was answered, which the
+        per-session synchronous protocol guarantees anyway).
+        """
+        if len({id(request.session) for request in requests}) != len(requests):
+            raise ValueError("a batch must not contain two requests from one session")
+        results: list[Optional[DecisionResult]] = [None] * len(requests)
+        self.num_batches += 1
+        self.max_batch_size = max(self.max_batch_size, len(requests))
+
+        active: list[int] = []
+        for index, request in enumerate(requests):
+            if request.observation.schedulable_nodes:
+                active.append(index)
+            else:
+                results[index] = DecisionResult(None, "noop", 0.0)
+        if not active:
+            return [result for result in results]  # type: ignore[misc]
+
+        # A policy pass *forced* by a session having no fallback (while the
+        # breaker said no) must NOT feed the breaker: while open it would be
+        # mistaken for the half-open trial, closing the breaker early or
+        # endlessly resetting the cooldown for everyone else.  Hence the
+        # breaker is only recorded when it actually sanctioned the pass.
+        if self.batched:
+            # One breaker consultation for the round's single shared forward.
+            # Sessions without a fallback stay on the policy path even while
+            # the breaker is open (exactly as in serial mode), so a mixed
+            # batch splits into one policy sub-batch plus fallback answers.
+            breaker_allows = self.breaker is None or self.breaker.allow_policy()
+            policy_group = [
+                i
+                for i in active
+                if requests[i].session.fallback is None or breaker_allows
+            ]
+            if policy_group:
+                chosen = [requests[i] for i in policy_group]
+                answers = self._policy_batched(chosen, record_to_breaker=breaker_allows)
+                for index, result in zip(policy_group, answers):
+                    results[index] = result
+            for index in active:
+                if results[index] is None:
+                    results[index] = self._fallback(requests[index])
+        else:
+            for index in active:
+                request = requests[index]
+                allows = self.breaker is None or self.breaker.allow_policy()
+                if request.session.fallback is None or allows:
+                    results[index] = self._policy_serial(
+                        request, record_to_breaker=allows
+                    )
+                else:
+                    results[index] = self._fallback(request)
+        return [result for result in results]  # type: ignore[misc]
+
+    def stats(self) -> dict:
+        return {
+            "batched": self.batched,
+            "greedy": self.greedy,
+            "num_batches": self.num_batches,
+            "max_batch_size": self.max_batch_size,
+            "merged_structure_rebuilds": self.merge_cache.num_rebuilds,
+            "breaker": self.breaker.stats() if self.breaker is not None else None,
+        }

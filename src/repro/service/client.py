@@ -1,0 +1,153 @@
+"""Client side of the policy service: the wire client and an episode driver.
+
+:class:`PolicyClient` is the raw synchronous protocol client (one session per
+connection).  :func:`drive_episode` is the reference *consumer*: it runs a
+local :class:`~repro.simulator.SchedulingEnvironment` as the "cluster", ships
+every observation to the server, applies the returned action and steps the
+simulator — i.e. exactly the loop a live cluster's scheduler agent would run,
+with simulated time standing in for the cluster.  The load generator and the
+CI smoke test both drive this loop.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Iterable, Optional
+
+from ..simulator.environment import Action, Observation, SchedulingEnvironment
+from ..simulator.jobdag import JobDAG
+from .protocol import ProtocolError, encode_observation, read_message, write_message
+
+__all__ = ["PolicyClient", "decode_action", "drive_episode"]
+
+
+class PolicyClient:
+    """Synchronous newline-delimited-JSON client for one cluster session."""
+
+    def __init__(self, host: str, port: int, timeout: Optional[float] = 30.0):
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._stream = self._socket.makefile("rwb")
+        self.session_id: Optional[str] = None
+
+    # ----------------------------------------------------------------- frames
+    def request(self, payload: dict) -> dict:
+        """Send one frame and read its reply (raises on ``error`` replies)."""
+        write_message(self._stream, payload)
+        reply = read_message(self._stream)
+        if reply is None:
+            raise ProtocolError("server closed the connection")
+        if reply["type"] == "error":
+            raise ProtocolError(reply.get("message", "unknown server error"))
+        return reply
+
+    # ------------------------------------------------------------------- API
+    def hello(
+        self,
+        session_id: Optional[str] = None,
+        num_executors: Optional[int] = None,
+        seed: int = 0,
+        fallback: Optional[str] = None,
+    ) -> dict:
+        payload: dict = {"type": "hello", "seed": int(seed)}
+        if session_id is not None:
+            payload["session_id"] = session_id
+        if num_executors is not None:
+            payload["num_executors"] = int(num_executors)
+        if fallback is not None:
+            payload["fallback"] = fallback
+        reply = self.request(payload)
+        self.session_id = reply["session_id"]
+        return reply
+
+    def decide(self, observation: Observation, request_id: Optional[int] = None) -> dict:
+        """One scheduling decision for ``observation`` (an ``action`` reply)."""
+        payload = {
+            "type": "decide",
+            "session_id": self.session_id,
+            "observation": encode_observation(observation),
+        }
+        if request_id is not None:
+            payload["request_id"] = int(request_id)
+        return self.request(payload)
+
+    def stats(self) -> dict:
+        return self.request({"type": "stats"})
+
+    def bye(self) -> None:
+        try:
+            self.request({"type": "bye"})
+        except (ProtocolError, OSError):
+            pass
+
+    def close(self) -> None:
+        try:
+            self._stream.close()
+        except OSError:
+            pass
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "PolicyClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.bye()
+        self.close()
+
+
+def decode_action(reply: dict, observation: Observation) -> Optional[Action]:
+    """Map an ``action`` reply back onto the client's own job/node objects."""
+    if reply.get("noop"):
+        return None
+    job_id = int(reply["job_id"])
+    node_id = int(reply["node_id"])
+    for job in observation.job_dags:
+        if job.job_id == job_id:
+            for node in job.nodes:
+                if node.node_id == node_id:
+                    return Action(
+                        node=node,
+                        parallelism_limit=int(reply["parallelism_limit"]),
+                    )
+    raise ProtocolError(
+        f"server chose job {job_id} node {node_id}, which this cluster does not have"
+    )
+
+
+def drive_episode(
+    client: PolicyClient,
+    environment: SchedulingEnvironment,
+    jobs: Iterable[JobDAG],
+    seed: Optional[int] = None,
+    max_decisions: Optional[int] = None,
+) -> dict:
+    """Run one full episode with every decision served remotely.
+
+    Returns a summary: decision counts by source, per-request latencies (as
+    measured by the *server*), and the episode's scheduling outcome.
+    """
+    observation = environment.reset(jobs, seed=seed)
+    decisions = 0
+    sources: dict[str, int] = {}
+    latencies_ms: list[float] = []
+    done = False
+    while not done:
+        if max_decisions is not None and decisions >= max_decisions:
+            break
+        reply = client.decide(observation, request_id=decisions)
+        action = decode_action(reply, observation)
+        sources[reply["source"]] = sources.get(reply["source"], 0) + 1
+        latencies_ms.append(float(reply["latency_ms"]))
+        observation, _, done = environment.step(action)
+        decisions += 1
+    result = environment.result()
+    return {
+        "decisions": decisions,
+        "sources": sources,
+        "latencies_ms": latencies_ms,
+        "finished_jobs": len(result.finished_jobs),
+        "unfinished_jobs": len(result.unfinished_jobs),
+        "wall_time": result.wall_time,
+    }

@@ -1,0 +1,126 @@
+"""Newline-delimited-JSON wire protocol of the policy-serving subsystem.
+
+One JSON object per line, UTF-8, over a plain TCP stream.  The client speaks
+first; every request gets exactly one reply, so a session's connection is a
+simple synchronous request/response channel (concurrency comes from *many*
+sessions, each on its own connection — which is precisely what the server's
+request broker batches across).
+
+Request types:
+
+``hello``
+    Open a session: ``{"type": "hello", "session_id", "num_executors",
+    "seed", "fallback"}``.  Reply: ``welcome`` (echoes the session id and
+    describes the hosted policy).
+``decide``
+    Ask for one scheduling decision: ``{"type": "decide", "session_id",
+    "request_id", "observation": {...}}`` where the observation payload is
+    produced by :func:`encode_observation`.  Reply: ``action`` with the chosen
+    ``(job_id, node_id, parallelism_limit)``, the decision ``source``
+    (``"policy"`` or ``"fallback"``) and the measured ``latency_ms``.
+``stats``
+    Reply: per-session decision counts, the latency histogram
+    (p50/p95/p99, :func:`repro.simulator.metrics.latency_histogram`) and the
+    SLO circuit-breaker state.
+``bye``
+    Close the session; the server replies ``goodbye`` and drops it.
+
+Errors are reported as ``{"type": "error", "message", ...}`` replies; the
+connection stays usable unless framing itself broke.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from ..simulator.environment import Observation
+
+__all__ = [
+    "ProtocolError",
+    "encode_message",
+    "write_message",
+    "read_message",
+    "encode_observation",
+]
+
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(RuntimeError):
+    """A malformed frame or an out-of-protocol message."""
+
+
+def encode_message(payload: dict) -> bytes:
+    """One wire frame: compact JSON + newline (keys sorted for stable logs)."""
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8") + b"\n"
+
+
+def write_message(stream, payload: dict) -> None:
+    """Write one frame and flush (each frame is a complete request/reply)."""
+    stream.write(encode_message(payload))
+    stream.flush()
+
+
+def read_message(stream) -> Optional[dict]:
+    """Read one frame; ``None`` on a cleanly closed stream."""
+    line = stream.readline()
+    if not line:
+        return None
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"malformed frame: {error}") from error
+    if not isinstance(payload, dict) or "type" not in payload:
+        raise ProtocolError("every frame must be a JSON object with a 'type'")
+    return payload
+
+
+def encode_observation(observation: Observation) -> dict:
+    """Serialize a scheduling observation into the ``decide`` payload.
+
+    The snapshot is complete (full per-job DAG structure and task counters),
+    so the server can reconstruct — and incrementally reconcile — shadow job
+    DAGs without ever seeing the client's simulator.  Static fields
+    (``edges``, ``num_tasks``, ``task_duration``) are only *read* by the
+    server the first time a job id appears; later snapshots of the same job
+    only refresh the runtime counters.
+    """
+    jobs = []
+    for job in observation.job_dags:
+        jobs.append(
+            {
+                "job_id": int(job.job_id),
+                "name": job.name,
+                "arrival_time": float(job.arrival_time),
+                "edges": [[int(src), int(dst)] for src, dst in job.edges],
+                "nodes": [
+                    {
+                        "node_id": int(node.node_id),
+                        "num_tasks": int(node.num_tasks),
+                        "task_duration": float(node.task_duration),
+                        "num_finished_tasks": int(node.num_finished_tasks),
+                        "num_running_tasks": int(node.num_running_tasks),
+                        "next_task_index": int(node.next_task_index),
+                    }
+                    for node in job.nodes
+                ],
+            }
+        )
+    return {
+        "version": PROTOCOL_VERSION,
+        "wall_time": float(observation.wall_time),
+        "num_free_executors": int(observation.num_free_executors),
+        "total_executors": int(observation.total_executors),
+        "num_jobs_in_system": int(observation.num_jobs_in_system),
+        "source_job": (
+            int(observation.source_job.job_id)
+            if observation.source_job is not None
+            else None
+        ),
+        "jobs": jobs,
+        "schedulable": [
+            [int(node.job.job_id), int(node.node_id)]
+            for node in observation.schedulable_nodes
+        ],
+    }

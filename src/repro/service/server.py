@@ -1,0 +1,407 @@
+"""The policy server: a long-lived TCP service hosting one Decima agent.
+
+Threading model (one process, standard library only):
+
+* one **accept** thread takes new connections;
+* one **connection** thread per client reads frames, reconciles ``decide``
+  snapshots into the connection's session, enqueues the request, *waits for
+  the broker's answer* and writes the reply — strictly sequential per
+  connection, so a session's shadow state is never touched concurrently;
+* one **dispatch** thread drains the shared request queue, coalesces whatever
+  is pending (across sessions, up to ``max_batch_size``, waiting at most
+  ``batch_window_ms`` for stragglers) and answers the whole batch through the
+  :class:`~repro.service.batcher.RequestBroker` — one batched GNN forward for
+  all of them, or the per-session fallback heuristics when the SLO breaker is
+  open.
+
+Because every session's decisions depend only on its own rng stream, its own
+graph cache and its own observations, the batch composition the dispatch
+thread happens to form has no effect on any session's action sequence.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from typing import Optional
+
+from ..core.agent import DecimaAgent
+from ..schedulers import make_scheduler, scheduler_names
+from ..simulator.environment import SimulatorConfig
+from .batcher import CircuitBreaker, DecisionRequest, DecisionResult, RequestBroker
+from .protocol import ProtocolError, read_message, write_message
+from .session import SessionState
+
+__all__ = ["PolicyServer"]
+
+_QUEUE_SENTINEL = None
+
+
+class _PendingRequest:
+    """A decide request parked on the dispatch queue until it is answered."""
+
+    __slots__ = ("request", "result", "error", "done")
+
+    def __init__(self, request: DecisionRequest):
+        self.request = request
+        self.result: Optional[DecisionResult] = None
+        self.error: Optional[str] = None
+        self.done = threading.Event()
+
+
+class PolicyServer:
+    """Serve scheduling decisions for many concurrent cluster sessions."""
+
+    def __init__(
+        self,
+        agent: DecimaAgent,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        fallback: str = "fifo",
+        slo_ms: Optional[float] = None,
+        breach_threshold: int = 3,
+        cooldown_decisions: int = 20,
+        batched: bool = True,
+        greedy: bool = True,
+        max_batch_size: int = 32,
+        batch_window_ms: float = 2.0,
+    ):
+        if fallback not in scheduler_names():
+            known = ", ".join(scheduler_names())
+            raise KeyError(f"unknown fallback scheduler {fallback!r}; known: {known}")
+        self.agent = agent
+        self.host = host
+        self.port = int(port)
+        self.default_fallback = fallback
+        self.max_batch_size = int(max_batch_size)
+        self.batch_window_s = float(batch_window_ms) / 1000.0
+        breaker = None
+        if slo_ms is not None:
+            breaker = CircuitBreaker(
+                slo_seconds=float(slo_ms) / 1000.0,
+                breach_threshold=breach_threshold,
+                cooldown_decisions=cooldown_decisions,
+            )
+        self.broker = RequestBroker(agent, batched=batched, greedy=greedy, breaker=breaker)
+        self.sessions: dict[str, SessionState] = {}
+        self._sessions_lock = threading.Lock()
+        self._queue: "queue.Queue" = queue.Queue()
+        self._requeue: list = []  # same-session requests deferred to the next batch
+        self._listener: Optional[socket.socket] = None
+        self._threads: list[threading.Thread] = []
+        self._connections: set = set()
+        self._connections_lock = threading.Lock()
+        self._running = False
+        self._session_counter = 0
+
+    # -------------------------------------------------------------- lifecycle
+    @property
+    def address(self) -> tuple:
+        """The bound ``(host, port)`` — resolves port 0 after :meth:`start`."""
+        if self._listener is None:
+            raise RuntimeError("server is not started")
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> tuple:
+        """Bind, listen and spin up the accept + dispatch threads."""
+        if self._running:
+            raise RuntimeError("server already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(64)
+        # Closing a socket does not reliably unblock accept() on every
+        # platform; a short timeout lets the accept loop notice stop().
+        listener.settimeout(0.2)
+        self._listener = listener
+        self._running = True
+        for target, name in (
+            (self._accept_loop, "policy-server-accept"),
+            (self._dispatch_loop, "policy-server-dispatch"),
+        ):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self.address
+
+    def stop(self) -> None:
+        """Stop accepting, unblock the dispatcher and close every connection."""
+        if not self._running:
+            return
+        self._running = False
+        self._queue.put(_QUEUE_SENTINEL)
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._connections_lock:
+            connections = list(self._connections)
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                connection.close()
+            except OSError:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads.clear()
+
+    def __enter__(self) -> "PolicyServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ---------------------------------------------------------------- accept
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while self._running:
+            try:
+                connection, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed by stop()
+            connection.settimeout(None)
+            with self._connections_lock:
+                self._connections.add(connection)
+            thread = threading.Thread(
+                target=self._connection_loop,
+                args=(connection,),
+                name="policy-server-conn",
+                daemon=True,
+            )
+            thread.start()
+
+    # ------------------------------------------------------------- connection
+    def _connection_loop(self, connection: socket.socket) -> None:
+        stream = connection.makefile("rwb")
+        session: Optional[SessionState] = None
+        try:
+            while True:
+                try:
+                    message = read_message(stream)
+                except ProtocolError as error:
+                    write_message(stream, {"type": "error", "message": str(error)})
+                    continue
+                except (OSError, ValueError):
+                    return  # connection torn down (possibly by stop())
+                if message is None:
+                    return
+                kind = message["type"]
+                try:
+                    if kind == "hello":
+                        session = self._handle_hello(stream, message, session)
+                    elif kind == "decide":
+                        self._handle_decide(stream, session, message)
+                    elif kind == "stats":
+                        self._handle_stats(stream, session)
+                    elif kind == "bye":
+                        write_message(stream, {"type": "goodbye"})
+                        return
+                    else:
+                        write_message(
+                            stream,
+                            {"type": "error", "message": f"unknown request type {kind!r}"},
+                        )
+                except ProtocolError as error:
+                    write_message(stream, {"type": "error", "message": str(error)})
+                except (KeyError, TypeError, ValueError) as error:
+                    # Malformed payload (missing fields, wrong types): answer
+                    # with an error frame and keep the connection usable, as
+                    # the protocol contract promises.
+                    write_message(
+                        stream,
+                        {"type": "error",
+                         "message": f"malformed {kind!r} payload: {error!r}"},
+                    )
+                except (BrokenPipeError, OSError):
+                    return
+        finally:
+            stream.close()
+            try:
+                connection.close()
+            except OSError:
+                pass
+            with self._connections_lock:
+                self._connections.discard(connection)
+            if session is not None:
+                with self._sessions_lock:
+                    self.sessions.pop(session.session_id, None)
+                # Drop the broker's merged-structure cache: it holds strong
+                # references to the dead session's structures (and through
+                # them its shadow DAGs) until the next multi-session batch.
+                self.broker.merge_cache.reset()
+
+    def _handle_hello(
+        self, stream, message: dict, existing: Optional[SessionState]
+    ) -> SessionState:
+        if existing is not None:
+            # Allowing a re-hello would orphan the previous session in
+            # self.sessions (its id blocked until restart); refuse instead.
+            raise ProtocolError(
+                f"session {existing.session_id!r} is already open on this connection"
+            )
+        with self._sessions_lock:
+            self._session_counter += 1
+            default_id = f"session-{self._session_counter}"
+        session_id = str(message.get("session_id") or default_id)
+        num_executors = int(message.get("num_executors", self.agent.total_executors))
+        fallback_name = str(message.get("fallback", self.default_fallback))
+        if fallback_name not in scheduler_names():
+            raise ProtocolError(f"unknown fallback scheduler {fallback_name!r}")
+        fallback = make_scheduler(
+            fallback_name, SimulatorConfig(num_executors=num_executors)
+        )
+        session = SessionState(
+            session_id=session_id,
+            num_executors=num_executors,
+            seed=int(message.get("seed", 0)),
+            fallback=fallback,
+        )
+        with self._sessions_lock:
+            if session_id in self.sessions:
+                raise ProtocolError(f"session id {session_id!r} is already connected")
+            self.sessions[session_id] = session
+        try:
+            write_message(
+                stream,
+                {
+                    "type": "welcome",
+                    "session_id": session_id,
+                    "scheduler": self.agent.name,
+                    "total_executors": self.agent.total_executors,
+                    "fallback": fallback_name,
+                    "batched": self.broker.batched,
+                    "greedy": self.broker.greedy,
+                },
+            )
+        except (BrokenPipeError, OSError):
+            # The client vanished before seeing the welcome: deregister, or
+            # the id would stay blocked (the connection loop's cleanup only
+            # knows about sessions it returned).
+            with self._sessions_lock:
+                self.sessions.pop(session_id, None)
+            raise
+        return session
+
+    def _handle_decide(
+        self, stream, session: Optional[SessionState], message: dict
+    ) -> None:
+        if session is None:
+            raise ProtocolError("decide before hello — open a session first")
+        observation = session.observation_from_snapshot(message["observation"])
+        pending = _PendingRequest(
+            DecisionRequest(
+                session=session,
+                observation=observation,
+                request_id=message.get("request_id"),
+            )
+        )
+        self._queue.put(pending)
+        # Bounded wait: if the request raced stop() (enqueued after the
+        # dispatch loop drained its sentinel and exited), nothing will ever
+        # answer it — fail it instead of hanging this connection thread.
+        while not pending.done.wait(timeout=0.5):
+            if not self._running:
+                pending.error = "server shutting down"
+                break
+        if pending.error is not None:
+            write_message(stream, {"type": "error", "message": pending.error})
+            return
+        result = pending.result
+        assert result is not None
+        reply = {
+            "type": "action",
+            "request_id": message.get("request_id"),
+            "source": result.source,
+            "latency_ms": result.latency_seconds * 1000.0,
+        }
+        reply.update(session.encode_action(result.action))
+        write_message(stream, reply)
+
+    def _handle_stats(self, stream, session: Optional[SessionState]) -> None:
+        payload = {
+            "type": "stats",
+            "broker": self.broker.stats(),
+            "num_sessions": len(self.sessions),
+        }
+        if session is not None:
+            payload["session"] = session.stats()
+        write_message(stream, payload)
+
+    # --------------------------------------------------------------- dispatch
+    def _drain_batch(self, first: "_PendingRequest") -> list:
+        """Coalesce pending requests: up to ``max_batch_size`` distinct sessions.
+
+        After the first request lands we wait at most ``batch_window_s`` for
+        more sessions to show up — long enough for concurrently blocked
+        clients to coalesce, far below any reasonable decision SLO.
+        """
+        batch = [first]
+        sessions = {id(first.request.session)}
+        deadline = time.perf_counter() + self.batch_window_s
+        with self._sessions_lock:
+            num_live_sessions = len(self.sessions)
+        # Once every live session has a request in the batch, no further
+        # request can arrive (the protocol is synchronous per session) —
+        # don't make a lone client sit out the full window.
+        max_size = min(self.max_batch_size, max(num_live_sessions, 1))
+        while len(batch) < max_size:
+            remaining = deadline - time.perf_counter()
+            try:
+                item = (
+                    self._queue.get_nowait()
+                    if remaining <= 0
+                    else self._queue.get(timeout=remaining)
+                )
+            except queue.Empty:
+                break
+            if item is _QUEUE_SENTINEL:
+                self._queue.put(_QUEUE_SENTINEL)  # keep the stop signal visible
+                break
+            if id(item.request.session) in sessions:
+                # One in-flight request per session: answer it in the next
+                # batch (cannot happen with well-behaved synchronous clients).
+                self._requeue.append(item)
+                continue
+            sessions.add(id(item.request.session))
+            batch.append(item)
+        return batch
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            if self._requeue:
+                item = self._requeue.pop(0)
+            else:
+                item = self._queue.get()
+            if item is _QUEUE_SENTINEL:
+                # Unblock anything still parked.
+                while True:
+                    try:
+                        pending = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                    if pending is _QUEUE_SENTINEL:
+                        continue
+                    pending.error = "server shutting down"
+                    pending.done.set()
+                return
+            batch = self._drain_batch(item)
+            try:
+                results = self.broker.decide([pending.request for pending in batch])
+            except Exception as error:  # noqa: BLE001 - must answer every request
+                for pending in batch:
+                    pending.error = f"decision failed: {error!r}"
+                    pending.done.set()
+                continue
+            for pending, result in zip(batch, results):
+                pending.result = result
+                pending.done.set()

@@ -10,7 +10,14 @@ from .environment import (
 )
 from .executor import Executor, ExecutorClass, default_executor_class, multi_resource_classes
 from .jobdag import JobDAG, Node, Task, critical_path_value, topological_order
-from .metrics import SimulationResult, TaskRecord, average_jct, executor_utilization, makespan
+from .metrics import (
+    SimulationResult,
+    TaskRecord,
+    average_jct,
+    executor_utilization,
+    latency_histogram,
+    makespan,
+)
 from .multi_resource import assign_memory_requests, memory_fragmentation, multi_resource_config
 
 __all__ = [
@@ -35,6 +42,7 @@ __all__ = [
     "average_jct",
     "makespan",
     "executor_utilization",
+    "latency_histogram",
     "assign_memory_requests",
     "memory_fragmentation",
     "multi_resource_config",

@@ -15,6 +15,7 @@ __all__ = [
     "average_jct",
     "makespan",
     "executor_utilization",
+    "latency_histogram",
 ]
 
 
@@ -97,6 +98,28 @@ def makespan(jobs: Iterable[JobDAG]) -> float:
     start = min(job.arrival_time for job in jobs)
     end = max(job.completion_time for job in jobs)
     return float(end - start)
+
+
+def latency_histogram(values: Iterable[float]) -> dict:
+    """p50/p95/p99 + count/mean/max summary of a sample of durations.
+
+    The shared report format for anything latency-shaped: the sweep engine's
+    pooled JCT distributions and the policy server's per-request decision
+    latencies both emit it.  An empty sample yields ``count = 0`` with ``None``
+    statistics (JSON-friendly; no NaNs in artifacts).
+    """
+    sample = np.asarray([float(v) for v in values], dtype=np.float64)
+    if sample.size == 0:
+        return {"count": 0, "mean": None, "p50": None, "p95": None, "p99": None, "max": None}
+    p50, p95, p99 = np.percentile(sample, [50, 95, 99])
+    return {
+        "count": int(sample.size),
+        "mean": float(sample.mean()),
+        "p50": float(p50),
+        "p95": float(p95),
+        "p99": float(p99),
+        "max": float(sample.max()),
+    }
 
 
 def executor_utilization(
