@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Record (or verify) the golden episode traces under ``tests/golden/``.
+
+A golden trace is the event-sourced recording of one seeded episode of a
+registry scenario (see ``docs/TESTING.md``).  CI replays every checked-in
+trace each run and fails on any drift, so the goldens are the repo's
+regression backstop: regenerate them ONLY when a behaviour change is
+intentional, and say so in the commit message.
+
+Usage::
+
+    # regenerate all goldens in place (after an intentional behaviour change)
+    python examples/record_golden_traces.py
+
+    # drift check (what CI runs): re-record and compare digests, write a report
+    python examples/record_golden_traces.py --verify --report GOLDEN_replay.json
+
+The scheduler defaults to ``fifo``: a pure-python heuristic whose decision
+stream contains no floating-point tie-breaking, so the traces are stable
+across platforms and BLAS builds.  ``--scheduler decima`` works too (useful
+locally) but is not what the checked-in goldens use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.scenarios import scenario_names  # noqa: E402
+from repro.verify import (  # noqa: E402
+    ReplayEngine,
+    read_trace,
+    record_scenario_trace,
+    write_trace,
+)
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "tests" / "golden"
+
+
+def trace_path(out_dir: Path, scenario: str) -> Path:
+    return out_dir / f"{scenario}.trace.jsonl"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="golden trace directory (default: tests/golden)")
+    parser.add_argument("--scenarios", default="all",
+                        help="comma-separated scenario names, or 'all'")
+    parser.add_argument("--scheduler", default="fifo",
+                        help="scheduler to record (default: fifo)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--num-jobs", type=int, default=None,
+                        help="override every scenario's job count "
+                             "(default: the registry's own sizes)")
+    parser.add_argument("--num-executors", type=int, default=None,
+                        help="override every scenario's executor count "
+                             "(default: the registry's own sizes)")
+    parser.add_argument("--verify", action="store_true",
+                        help="compare freshly recorded traces against the "
+                             "checked-in files instead of overwriting them")
+    parser.add_argument("--report", type=Path, default=None,
+                        help="write a JSON report of the run (with --verify)")
+    args = parser.parse_args()
+
+    names = (
+        list(scenario_names())
+        if args.scenarios == "all"
+        else [name.strip() for name in args.scenarios.split(",") if name.strip()]
+    )
+    report = {"scheduler": args.scheduler, "seed": args.seed, "scenarios": {}}
+    drifted = []
+    for name in names:
+        trace = record_scenario_trace(
+            name,
+            scheduler=args.scheduler,
+            seed=args.seed,
+            num_jobs=args.num_jobs,
+            num_executors=args.num_executors,
+        )
+        path = trace_path(args.out, name)
+        entry = {
+            "digest": trace.digest,
+            "num_decisions": trace.num_decisions,
+            "num_events": len(trace.events),
+        }
+        if args.verify:
+            if not path.exists():
+                entry["status"] = "missing"
+                drifted.append(name)
+            else:
+                recorded = read_trace(path)
+                if recorded.digest != trace.digest:
+                    entry["status"] = "drift"
+                    entry["recorded_digest"] = recorded.digest
+                    divergence = ReplayEngine("rerun").replay(recorded).divergence
+                    if divergence is not None:
+                        entry["first_divergence"] = divergence.describe()
+                    drifted.append(name)
+                else:
+                    entry["status"] = "ok"
+            print(f"[{entry['status'].upper():5s}] {name}: {entry['num_decisions']} "
+                  f"decisions, digest {trace.digest[:16]}")
+        else:
+            write_trace(trace, path)
+            entry["status"] = "written"
+            print(f"[WROTE] {path} ({entry['num_decisions']} decisions, "
+                  f"{path.stat().st_size} bytes)")
+        report["scenarios"][name] = entry
+    if args.report is not None:
+        args.report.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"report written to {args.report}")
+    if drifted:
+        print(f"GOLDEN DRIFT in {len(drifted)} scenario(s): {', '.join(drifted)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,7 +12,9 @@ processing jobs with reinforcement learning.  This package contains:
   REINFORCE training with curriculum and input-dependent baselines);
 * :mod:`repro.experiments` — the harness regenerating every table and figure;
 * :mod:`repro.service` — the policy-serving subsystem (multi-session
-  scheduling service with cross-session batched GNN inference).
+  scheduling service with cross-session batched GNN inference);
+* :mod:`repro.verify` — deterministic trace record/replay and the
+  differential verification harness across all fast/oracle pairs.
 """
 
 __version__ = "1.0.0"
@@ -25,4 +27,5 @@ __all__ = [
     "core",
     "experiments",
     "service",
+    "verify",
 ]

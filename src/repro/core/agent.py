@@ -123,6 +123,12 @@ class DecimaAgent(Module, Scheduler):
         # Per-episode incremental cache of the static graph structure; rebuilt
         # only when the set of live jobs changes (arrival/completion).
         self.graph_cache = GraphCache()
+        # Instrumentation seam for the verification harness: when set, every
+        # serial decision calls ``logits_tap(node_logits_row_data)`` with this
+        # observation's (plain numpy) node-logit rows before selection, so a
+        # trace recorder can digest the numbers behind each decision.  The
+        # ``None`` default costs one identity check per act() call.
+        self.logits_tap = None
 
     # ---------------------------------------------------------------- helpers
     def _build_limit_levels(self) -> np.ndarray:
@@ -340,6 +346,8 @@ class DecimaAgent(Module, Scheduler):
         """
         rng = rng if rng is not None else self._eval_rng
         node_rows = node_rows if node_rows is not None else slice(0, graph.num_nodes)
+        if self.logits_tap is not None:
+            self.logits_tap(node_logits.data[node_rows])
         selected = self._select_stage(
             graph, node_logits, node_rows, rng, greedy, training
         )

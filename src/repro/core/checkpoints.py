@@ -152,7 +152,15 @@ def save_agent(
 def _read_meta(archive) -> dict:
     if "__meta__" not in archive.files:
         raise ValueError("checkpoint has no __meta__ entry; was it saved by save_agent?")
-    return json.loads(str(archive["__meta__"]))
+    try:
+        meta = json.loads(str(archive["__meta__"]))
+    except json.JSONDecodeError as error:
+        raise ValueError(f"checkpoint metadata is corrupt: {error}") from None
+    if not isinstance(meta, dict) or "total_executors" not in meta:
+        raise ValueError(
+            "checkpoint metadata is corrupt: missing the 'total_executors' entry"
+        )
+    return meta
 
 
 def load_agent(path: Union[str, Path]) -> DecimaAgent:
@@ -171,15 +179,35 @@ def load_agent(path: Union[str, Path]) -> DecimaAgent:
 
 
 def load_latest(directory: Union[str, Path]) -> DecimaAgent:
-    """Load the checkpoint the directory's ``latest.json`` pointer names."""
+    """Load the checkpoint the directory's ``latest.json`` pointer names.
+
+    The pointer's recorded parameter fingerprint is verified against the
+    loaded weights, so a checkpoint file swapped or truncated behind the
+    pointer's back fails loudly instead of serving the wrong model.
+    """
     directory = Path(directory)
     pointer = directory / LATEST_POINTER
     if not pointer.exists():
         raise FileNotFoundError(
             f"{pointer} not found — save a checkpoint with save_agent() first"
         )
-    payload = json.loads(pointer.read_text())
-    return load_agent(directory / payload["checkpoint"])
+    try:
+        payload = json.loads(pointer.read_text())
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{pointer} is corrupt: {error}") from None
+    if not isinstance(payload, dict) or "checkpoint" not in payload:
+        raise ValueError(f"{pointer} is corrupt: missing the 'checkpoint' entry")
+    agent = load_agent(directory / payload["checkpoint"])
+    expected = payload.get("fingerprint")
+    if expected is not None:
+        actual = parameter_fingerprint(agent)
+        if actual != expected:
+            raise ValueError(
+                f"checkpoint {payload['checkpoint']!r} does not match the "
+                f"{LATEST_POINTER} fingerprint (expected {expected}, loaded "
+                f"{actual}) — was the file replaced without updating the pointer?"
+            )
+    return agent
 
 
 def load_agent_weights(agent: DecimaAgent, path: Union[str, Path]) -> DecimaAgent:

@@ -131,8 +131,13 @@ def run_episode(
     simulator_config: SimulatorConfig,
     spec: EpisodeSpec,
     rng: Optional[np.random.Generator] = None,
+    step_hook: Optional[Callable] = None,
 ) -> Trajectory:
-    """Collect one episode described by ``spec`` (used by workers and tests)."""
+    """Collect one episode described by ``spec`` (used by workers and tests).
+
+    ``step_hook`` passes through to :func:`~repro.core.rollout.collect_rollout`
+    — the verification harness's instrumentation seam.
+    """
     if rng is None:
         if spec.action_seed is None:
             raise ValueError("EpisodeSpec.action_seed is required when no rng is given")
@@ -147,6 +152,7 @@ def run_episode(
         rng=rng,
         seed=spec.env_seed,
         max_actions=spec.max_actions,
+        step_hook=step_hook,
     )
 
 

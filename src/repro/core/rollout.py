@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -55,12 +55,18 @@ def collect_rollout(
     rng: np.random.Generator,
     seed: Optional[int] = None,
     max_actions: Optional[int] = None,
+    step_hook: Optional[Callable] = None,
 ) -> Trajectory:
     """Run one sampled episode of ``agent`` and record per-action training data.
 
     Actions are *sampled* from the policy (not arg-maxed) so the policy
     gradient explores.  ``max_actions`` is a safety bound for degenerate
-    policies early in training.
+    policies early in training.  ``step_hook`` is an instrumentation seam for
+    the verification harness: when given, it is called as
+    ``step_hook(step_index, observation, action, info, wall_time)`` *before*
+    the step executes (stepping mutates the live job DAGs the observation
+    references); if it returns a callable, that is invoked with the step's
+    reward once the step completes.  Hooks must not mutate their arguments.
     """
     trajectory = Trajectory()
     # Episode boundary: the job DAGs are fresh objects, so drop the agent's
@@ -68,10 +74,19 @@ def collect_rollout(
     agent.reset_graph_cache()
     observation = environment.reset(jobs, seed=seed)
     done = False
+    step_index = 0
     while not done:
         action, info = agent.act(observation, rng=rng, greedy=False, training=True)
         wall_time = environment.wall_time
+        finish_hook = (
+            step_hook(step_index, observation, action, info, wall_time)
+            if step_hook is not None
+            else None
+        )
         observation, reward, done = environment.step(action)
+        if callable(finish_hook):
+            finish_hook(reward)
+        step_index += 1
         if info is not None:
             trajectory.transitions.append(
                 Transition(

@@ -29,6 +29,7 @@ def run_episode(
     seed: Optional[int] = None,
     max_steps: Optional[int] = None,
     record_delays: bool = False,
+    decision_hook: Optional[Callable] = None,
 ) -> SimulationResult:
     """Run one full episode of ``scheduler`` on ``jobs`` in ``environment``.
 
@@ -36,6 +37,12 @@ def run_episode(
     experiments with truncated horizons).  When ``record_delays`` is set, the
     wall-clock time of each ``scheduler.schedule`` call is recorded so the
     Figure-15b scheduling-delay distribution can be reproduced.
+    ``decision_hook`` is the verification harness's instrumentation seam:
+    when given, it is called as ``decision_hook(step_index, observation,
+    action)`` *before* the step executes (the observation still reflects
+    exactly what the scheduler saw — stepping mutates the live job DAGs in
+    place); if the hook returns a callable, it is invoked with the step's
+    reward once the step completes.  Hooks must not mutate their arguments.
     """
     scheduler.reset()
     observation = environment.reset(jobs, seed=seed)
@@ -47,7 +54,14 @@ def run_episode(
         action = scheduler.schedule(observation)
         if record_delays:
             delays.append(time.perf_counter() - start)
-        observation, _, done = environment.step(action)
+        finish_hook = (
+            decision_hook(steps, observation, action)
+            if decision_hook is not None
+            else None
+        )
+        observation, reward, done = environment.step(action)
+        if callable(finish_hook):
+            finish_hook(reward)
         steps += 1
         if max_steps is not None and steps >= max_steps:
             break

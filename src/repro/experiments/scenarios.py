@@ -22,6 +22,7 @@ runs on a laptop (and in the CI smoke tier) in minutes; ``num_jobs`` /
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, replace
 from functools import partial
 from typing import Callable, Optional, Sequence
@@ -46,7 +47,21 @@ __all__ = [
     "scenario_registry",
     "scenario_names",
     "get_scenario",
+    "scenario_workload_rng",
 ]
+
+
+def scenario_workload_rng(scenario: str, seed: int) -> np.random.Generator:
+    """The workload generator for a ``(scenario, seed)`` evaluation cell.
+
+    The single source of truth for this derivation: the sweep engine's
+    ``run_cell`` and the verification recorder's ``record_scenario_trace``
+    both build their job sequences from it, which is what makes recorded
+    traces workload-identical to sweep cells.  Keyed with ``zlib.crc32``
+    (never the salted builtin ``hash``) so every process derives the same
+    stream for the same cell.
+    """
+    return np.random.default_rng([int(seed), zlib.crc32(scenario.encode("utf-8"))])
 
 # Small input sizes keep per-scenario work laptop-friendly; overrides scale up.
 _SMALL_SIZES = (2.0, 5.0, 10.0)

@@ -34,7 +34,7 @@ from ..schedulers import make_scheduler, scheduler_names
 from ..simulator.environment import SchedulingEnvironment, SimulatorConfig
 from ..simulator.metrics import latency_histogram
 from .runner import run_episode
-from .scenarios import scenario_registry
+from .scenarios import scenario_registry, scenario_workload_rng
 
 __all__ = [
     "SweepCell",
@@ -93,10 +93,11 @@ class CellResult:
 def _cell_rng(cell: SweepCell) -> np.random.Generator:
     """Workload generator for a cell: a stable function of its coordinates.
 
-    ``zlib.crc32`` (not the salted builtin ``hash``) keys the stream so every
-    process derives the same generator for the same cell.
+    Delegates to :func:`repro.experiments.scenarios.scenario_workload_rng`,
+    the shared derivation the verification recorder also uses — keeping
+    recorded traces workload-identical to sweep cells by construction.
     """
-    return np.random.default_rng([cell.seed, zlib.crc32(cell.scenario.encode("utf-8"))])
+    return scenario_workload_rng(cell.scenario, cell.seed)
 
 
 def run_cell(
@@ -158,6 +159,24 @@ def _sweep_worker_main(
                     run_cell(cell, num_jobs=num_jobs, num_executors=num_executors)
                     for cell in payload
                 ]
+            elif command == "trace":
+                # Record each cell's episode trace and return its content
+                # digest (the full trace stays in the worker: digests are all
+                # the worker-count-invariance check needs, and they're cheap
+                # to ship).  Imported lazily — repro.verify imports this
+                # module's scenario registry at import time.
+                from ..verify.recorder import record_scenario_trace
+
+                reply = [
+                    record_scenario_trace(
+                        cell.scenario,
+                        scheduler=cell.scheduler,
+                        seed=cell.seed,
+                        num_jobs=num_jobs,
+                        num_executors=num_executors,
+                    ).digest
+                    for cell in payload
+                ]
             else:
                 raise ValueError(f"unknown sweep worker command {command!r}")
             conn.send(("ok", reply))
@@ -194,11 +213,24 @@ class SweepWorkerPool(PipeWorkerPool):
 
     def run_cells(self, cells: Sequence[SweepCell]) -> list[CellResult]:
         """Fan ``cells`` out over the workers; results come back in cell order."""
+        return self._fan_out("run", cells)
+
+    def record_trace_digests(self, cells: Sequence[SweepCell]) -> list[str]:
+        """Record each cell's episode trace in a worker; returns the digests.
+
+        Traces are pure functions of the cell coordinates
+        (:func:`repro.verify.record_scenario_trace`), so the returned digests
+        are identical for any worker count — which is exactly what the
+        golden-replay invariance test asserts.
+        """
+        return self._fan_out("trace", cells)
+
+    def _fan_out(self, command: str, cells: Sequence[SweepCell]) -> list:
         assignment = [index % self.num_workers for index in range(len(cells))]
         payloads: list[list[SweepCell]] = [[] for _ in range(self.num_workers)]
         for cell, owner in zip(cells, assignment):
             payloads[owner].append(cell)
-        replies = self.run("run", payloads)
+        replies = self.run(command, payloads)
         # Re-interleave the per-worker replies back into cell order so the
         # output is invariant to the worker count.
         cursors = [0] * self.num_workers

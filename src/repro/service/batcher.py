@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..core.agent import DecimaAgent
 from ..core.features import MergedStructureCache
@@ -131,11 +131,16 @@ class RequestBroker:
         batched: bool = True,
         greedy: bool = True,
         breaker: Optional[CircuitBreaker] = None,
+        decision_tap: Optional[Callable[[DecisionRequest, "DecisionResult"], None]] = None,
     ):
         self.agent = agent
         self.batched = bool(batched)
         self.greedy = bool(greedy)
         self.breaker = breaker
+        # Per-decision observer (the verification harness's session decision
+        # tap): called once per answered request, in request order, with the
+        # request and its result.  Must not mutate either.
+        self.decision_tap = decision_tap
         self.merge_cache = MergedStructureCache()
         self.num_batches = 0
         self.max_batch_size = 0
@@ -208,7 +213,7 @@ class RequestBroker:
             else:
                 results[index] = DecisionResult(None, "noop", 0.0)
         if not active:
-            return [result for result in results]  # type: ignore[misc]
+            return self._finish(requests, results)
 
         # A policy pass *forced* by a session having no fallback (while the
         # breaker said no) must NOT feed the breaker: while open it would be
@@ -244,6 +249,16 @@ class RequestBroker:
                     )
                 else:
                     results[index] = self._fallback(request)
+        return self._finish(requests, results)
+
+    def _finish(
+        self,
+        requests: Sequence[DecisionRequest],
+        results: Sequence[Optional[DecisionResult]],
+    ) -> list[DecisionResult]:
+        if self.decision_tap is not None:
+            for request, result in zip(requests, results):
+                self.decision_tap(request, result)  # type: ignore[arg-type]
         return [result for result in results]  # type: ignore[misc]
 
     def stats(self) -> dict:

@@ -146,6 +146,12 @@ class SchedulingEnvironment:
         self.config = config or SimulatorConfig()
         if self.config.reward_mode not in ("avg_jct", "makespan"):
             raise ValueError(f"unknown reward mode {self.config.reward_mode!r}")
+        # Observers of the event stream (trace recording, debugging).  Each is
+        # called as ``listener(kind, time, detail_dict)`` for every event the
+        # engine processes, in processing order, *before* the event mutates
+        # state.  Listeners survive reset() so a recorder attached once sees
+        # every episode; the empty default costs one truthiness check per event.
+        self.event_listeners: list = []
         self.duration_model = TaskDurationModel(self.config.duration, seed=self.config.seed)
         self.executors: list[Executor] = self.config.build_executors()
         self.executor_classes = sorted(
@@ -389,6 +395,8 @@ class SchedulingEnvironment:
             penalty += self._interval_penalty(event_time - self.wall_time)
             self.wall_time = event_time
             processed_events += 1
+            if self.event_listeners:
+                self._notify_listeners(kind, event_time, payload)
             if kind == "task_finish":
                 self._on_task_finish(payload)  # type: ignore[arg-type]
             elif kind == "job_arrival":
@@ -402,6 +410,33 @@ class SchedulingEnvironment:
             if self._all_work_done() and not self.events:
                 self.done = True
         return -penalty * self.config.reward_scale
+
+    def _notify_listeners(self, kind: str, time: float, payload: object) -> None:
+        """Describe the event to every listener before its handler runs.
+
+        Details use seed-deterministic identifiers (job *names*, node and
+        executor ids) so recorded event streams are comparable across
+        processes regardless of the global ``JobDAG`` id counter.
+        """
+        detail: dict = {}
+        if kind == "job_arrival":
+            job: JobDAG = payload  # type: ignore[assignment]
+            detail = {"job": job.name}
+        elif kind == "task_finish":
+            executor: Executor = payload  # type: ignore[assignment]
+            task = executor.task
+            if task is not None:
+                job = task.node.job
+                detail = {
+                    "job": job.name if job is not None else None,
+                    "node": task.node.node_id,
+                    "executor": executor.executor_id,
+                }
+        elif kind in ("executor_added", "executor_removed"):
+            event: ExecutorChurnEvent = payload  # type: ignore[assignment]
+            detail = {"count": event.count}
+        for listener in self.event_listeners:
+            listener(kind, time, detail)
 
     def _interval_penalty(self, dt: float) -> float:
         if dt <= 0:

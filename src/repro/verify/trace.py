@@ -1,0 +1,338 @@
+"""Versioned episode-trace format: event sourcing for seeded scheduling runs.
+
+A trace is the event-sourced record of one seeded episode:
+
+* a **header** pinning everything needed to re-derive the episode (scenario,
+  scheduler, seed, size overrides, trace-format version);
+* every **simulator event** the environment processed (job arrivals, task
+  finishes, executor churn), in processing order;
+* every **agent decision** (job, stage, parallelism limit, executor class,
+  wall time, reward) together with a fingerprint of the observation the
+  decision was made on and — for learned schedulers — a rounded digest of the
+  node logits behind it;
+* periodic **RNG checkpoints** (digests of the simulator's generator state),
+  which catch "same decisions, different random-number consumption" drift
+  that decision comparison alone would miss;
+* a **footer** with summary statistics and a content digest over everything
+  above it.
+
+Serialization is JSON-lines with canonical encoding (sorted keys, no
+whitespace), so byte equality of two trace files is exactly record equality
+and the sha256 content digest is stable across processes, worker counts and
+platforms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "TRACE_VERSION",
+    "TraceHeader",
+    "TraceEvent",
+    "DecisionRecord",
+    "RngCheckpoint",
+    "EpisodeTrace",
+    "observation_fingerprint",
+    "logits_digest",
+    "rng_state_digest",
+    "write_trace",
+    "read_trace",
+]
+
+# Bump when the line schema changes; readers reject unknown versions instead
+# of mis-parsing golden traces recorded by a different code generation.
+TRACE_VERSION = 1
+
+_FINGERPRINT_HEX = 16  # 64 bits of sha256 — plenty for first-divergence triage
+
+
+def _canonical(payload: dict) -> str:
+    """Canonical JSON: sorted keys, compact separators, round-trip floats."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _sha256_hex(text: str, length: int = _FINGERPRINT_HEX) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:length]
+
+
+# ------------------------------------------------------------------ fingerprints
+def observation_fingerprint(observation) -> str:
+    """Compact digest of everything a policy can see in ``observation``.
+
+    Jobs are identified by their seed-deterministic *names* (never the
+    process-global ``job_id`` counter), so fingerprints are comparable across
+    independent runs and across worker processes.
+    """
+    jobs = []
+    for job in observation.job_dags:
+        jobs.append(
+            {
+                "name": job.name,
+                "arrival": job.arrival_time,
+                "nodes": [
+                    [
+                        node.node_id,
+                        node.num_tasks,
+                        node.num_finished_tasks,
+                        node.num_running_tasks,
+                    ]
+                    for node in job.nodes
+                ],
+            }
+        )
+    payload = {
+        "wall_time": observation.wall_time,
+        "free": observation.num_free_executors,
+        # Per-class free counts: on heterogeneous fleets, *which* class is
+        # free matters even when the total free count is unchanged.
+        "free_by_class": sorted(
+            [cls.name, count]
+            for cls, count in observation.free_executors_by_class.items()
+        ),
+        "total": observation.total_executors,
+        "in_system": observation.num_jobs_in_system,
+        "source": observation.source_job.name if observation.source_job else None,
+        "jobs": jobs,
+        "schedulable": [
+            [node.job.name if node.job is not None else None, node.node_id]
+            for node in observation.schedulable_nodes
+        ],
+    }
+    return _sha256_hex(_canonical(payload))
+
+
+def logits_digest(logits: np.ndarray, decimals: int = 6) -> str:
+    """Digest of a logit vector rounded to ``decimals`` places.
+
+    The sparse and dense GNN paths sum messages in different floating-point
+    orders, so raw logits agree to ~1e-12 but not bit-for-bit; rounding before
+    hashing absorbs that while still flagging any real numerical divergence.
+    ``+ 0.0`` normalises ``-0.0`` so both signs of zero hash identically.
+    """
+    rounded = np.round(np.asarray(logits, dtype=np.float64), decimals) + 0.0
+    digest = hashlib.sha256()
+    digest.update(rounded.tobytes())
+    digest.update(str(rounded.shape).encode())
+    return digest.hexdigest()[:_FINGERPRINT_HEX]
+
+
+def rng_state_digest(generator: np.random.Generator) -> str:
+    """Digest of a numpy generator's full bit-generator state."""
+
+    def jsonable(value):
+        if isinstance(value, dict):
+            return {key: jsonable(item) for key, item in value.items()}
+        if isinstance(value, np.ndarray):
+            return value.tolist()
+        if isinstance(value, (np.integer,)):
+            return int(value)
+        return value
+
+    return _sha256_hex(_canonical(jsonable(generator.bit_generator.state)))
+
+
+# ------------------------------------------------------------------ trace records
+@dataclass(frozen=True)
+class TraceHeader:
+    """Everything needed to re-derive the recorded episode."""
+
+    scenario: str
+    scheduler: str
+    seed: int
+    version: int = TRACE_VERSION
+    num_jobs: Optional[int] = None
+    num_executors: Optional[int] = None
+    max_decisions: Optional[int] = None
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One processed simulator event (arrival, completion, churn)."""
+
+    time: float
+    event: str  # "job_arrival" | "task_finish" | "executor_added" | "executor_removed"
+    job: Optional[str] = None
+    node: Optional[int] = None
+    executor: Optional[int] = None
+    count: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One agent decision with the context needed for divergence triage.
+
+    ``job`` is ``None`` for no-op decisions (the scheduler declined).  The
+    serial-vs-parallel rollout pair compares on ``(wall_time, reward)`` only,
+    because worker outcomes ship rewards but not node identities — see
+    :mod:`repro.verify.differential`.
+    """
+
+    step: int
+    wall_time: float
+    obs_fingerprint: str
+    job: Optional[str] = None
+    node: Optional[int] = None
+    limit: Optional[int] = None
+    executor_class: Optional[str] = None
+    reward: Optional[float] = None
+    logits: Optional[str] = None
+    session: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class RngCheckpoint:
+    """Digest of the simulator's RNG state after ``step`` decisions."""
+
+    step: int
+    digest: str
+
+
+@dataclass
+class EpisodeTrace:
+    """A full recorded episode: header, events, decisions, RNG checkpoints."""
+
+    header: TraceHeader
+    events: list = field(default_factory=list)
+    decisions: list = field(default_factory=list)
+    rng_checkpoints: list = field(default_factory=list)
+    summary: dict = field(default_factory=dict)
+
+    # -------------------------------------------------------------- encoding
+    def body_lines(self) -> list[str]:
+        """Canonical JSONL lines for everything except the footer."""
+        lines = [_canonical({"kind": "header", **_strip(asdict(self.header))})]
+        for event in self.events:
+            lines.append(_canonical({"kind": "event", **_strip(asdict(event))}))
+        for decision in self.decisions:
+            lines.append(_canonical({"kind": "decision", **_strip(asdict(decision))}))
+        for checkpoint in self.rng_checkpoints:
+            lines.append(_canonical({"kind": "rng", **_strip(asdict(checkpoint))}))
+        return lines
+
+    @property
+    def digest(self) -> str:
+        """sha256 over the canonical body — the trace's content identity."""
+        return _digest_of(self.body_lines())
+
+    def to_lines(self) -> list[str]:
+        # Serialize the body once and hash those same lines, so the written
+        # footer can never be computed from a diverging serialization.
+        lines = self.body_lines()
+        digest = _digest_of(lines)
+        lines.append(
+            _canonical({"kind": "end", "digest": digest, **_strip(self.summary)})
+        )
+        return lines
+
+    @property
+    def num_decisions(self) -> int:
+        return len(self.decisions)
+
+
+def _digest_of(body_lines: list[str]) -> str:
+    hasher = hashlib.sha256()
+    for line in body_lines:
+        hasher.update(line.encode("utf-8"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def _strip(payload: dict) -> dict:
+    """Drop ``None`` fields and empty extras so lines stay compact."""
+    return {
+        key: value
+        for key, value in payload.items()
+        if value is not None and not (key == "extra" and not value)
+    }
+
+
+# ---------------------------------------------------------------------- file I/O
+def write_trace(trace: EpisodeTrace, path: Union[str, Path]) -> Path:
+    """Serialize ``trace`` (canonical JSONL + digest footer) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n".join(trace.to_lines()) + "\n")
+    return path
+
+
+def _record_from(kind: str, payload: dict):
+    payload = dict(payload)
+    payload.pop("kind", None)
+    if kind == "event":
+        return TraceEvent(**payload)
+    if kind == "decision":
+        return DecisionRecord(**payload)
+    if kind == "rng":
+        return RngCheckpoint(**payload)
+    raise ValueError(f"unknown trace record kind {kind!r}")
+
+
+def trace_from_lines(lines: Iterable[str], verify_digest: bool = True) -> EpisodeTrace:
+    """Parse a trace from its JSONL lines, validating version and digest."""
+    header: Optional[TraceHeader] = None
+    trace: Optional[EpisodeTrace] = None
+    footer: Optional[dict] = None
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if footer is not None:
+            raise ValueError(f"trace line {number}: content after the end record")
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"trace line {number}: not valid JSON ({error})") from None
+        kind = payload.get("kind")
+        if header is None:
+            if kind != "header":
+                raise ValueError("trace must start with a header record")
+            version = payload.get("version")
+            if version != TRACE_VERSION:
+                raise ValueError(
+                    f"trace version {version!r} is not supported "
+                    f"(this reader expects {TRACE_VERSION})"
+                )
+            payload.pop("kind")
+            payload.setdefault("extra", {})
+            header = TraceHeader(**payload)
+            trace = EpisodeTrace(header=header)
+            continue
+        assert trace is not None
+        if kind == "end":
+            footer = payload
+        elif kind == "event":
+            trace.events.append(_record_from(kind, payload))
+        elif kind == "decision":
+            trace.decisions.append(_record_from(kind, payload))
+        elif kind == "rng":
+            trace.rng_checkpoints.append(_record_from(kind, payload))
+        else:
+            raise ValueError(f"trace line {number}: unknown record kind {kind!r}")
+    if trace is None:
+        raise ValueError("empty trace")
+    if footer is None:
+        raise ValueError("trace has no end record — was the recording truncated?")
+    recorded_digest = footer.pop("digest", None)
+    footer.pop("kind", None)
+    trace.summary = footer
+    if verify_digest and recorded_digest != trace.digest:
+        raise ValueError(
+            "trace content digest mismatch: the file was edited or corrupted "
+            f"(recorded {recorded_digest}, recomputed {trace.digest})"
+        )
+    return trace
+
+
+def read_trace(path: Union[str, Path], verify_digest: bool = True) -> EpisodeTrace:
+    """Read and validate a trace file written by :func:`write_trace`."""
+    return trace_from_lines(
+        Path(path).read_text().splitlines(), verify_digest=verify_digest
+    )

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite.
+
+The fixed-seed factories themselves live in ``tests/_helpers.py`` (module-
+level test helpers import them directly with ``from _helpers import ...``);
+this conftest exposes them as factory fixtures for tests that prefer
+injection.
+"""
+
+import pytest
+
+from _helpers import make_decima_agent, make_tpch_env, make_training_setup
+
+
+@pytest.fixture
+def tpch_env_factory():
+    return make_tpch_env
+
+
+@pytest.fixture
+def decima_agent_factory():
+    return make_decima_agent
+
+
+@pytest.fixture
+def training_setup_factory():
+    return make_training_setup

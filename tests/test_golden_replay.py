@@ -1,0 +1,89 @@
+"""Golden-trace replay tier: every checked-in trace must replay bit-identical.
+
+These tests are the repo's drift backstop: any change to the simulator, the
+workload generators or a scheduler that moves even one decision of a registry
+scenario fails here with the first-divergence context.  Regenerate the
+goldens with ``examples/record_golden_traces.py`` ONLY for intentional
+behaviour changes (see ``docs/TESTING.md``).
+
+Also pins the acceptance criteria: recording is bit-identical across two
+independent runs and across sweep worker counts (1 vs 4).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.scenarios import scenario_names
+from repro.experiments.sweep import SweepCell, SweepWorkerPool
+from repro.verify import ReplayEngine, read_trace, record_scenario_trace
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.trace.jsonl"
+
+
+class TestGoldenCoverage:
+    def test_every_registry_scenario_has_a_golden_trace(self):
+        missing = [n for n in scenario_names() if not golden_path(n).exists()]
+        assert not missing, (
+            f"no golden trace for: {missing} — run "
+            "examples/record_golden_traces.py"
+        )
+
+    def test_no_stale_golden_traces(self):
+        known = {f"{name}.trace.jsonl" for name in scenario_names()}
+        stale = [p.name for p in GOLDEN_DIR.glob("*.trace.jsonl")
+                 if p.name not in known]
+        assert not stale, f"golden traces for unregistered scenarios: {stale}"
+
+
+@pytest.mark.parametrize("name", scenario_names())
+class TestGoldenReplay:
+    def test_replays_bit_identical(self, name):
+        trace = read_trace(golden_path(name))  # digest-validated read
+        report = ReplayEngine("rerun").replay(trace)
+        assert report.ok, report.describe()
+        assert report.num_decisions == trace.summary["num_decisions"]
+
+    def test_recorded_decisions_apply_cleanly(self, name):
+        trace = read_trace(golden_path(name))
+        report = ReplayEngine("apply").replay(trace)
+        assert report.ok, report.describe()
+
+
+class TestRecordingDeterminism:
+    def test_two_independent_recordings_are_bit_identical(self):
+        """Acceptance: re-recording any scenario twice in one process yields
+        byte-identical traces (content digests included)."""
+        for name in scenario_names():
+            first = record_scenario_trace(name, scheduler="fifo", seed=0,
+                                          num_jobs=3, num_executors=8)
+            second = record_scenario_trace(name, scheduler="fifo", seed=0,
+                                           num_jobs=3, num_executors=8)
+            assert first.to_lines() == second.to_lines(), name
+
+    def test_trace_digests_invariant_to_sweep_worker_count(self):
+        """Acceptance: recording through the sweep pool with 1 worker and with
+        4 workers yields identical digests — and both match in-process
+        recording."""
+        cells = [
+            SweepCell(scenario=name, scheduler="fifo", seed=0)
+            for name in scenario_names()
+        ]
+        local = [
+            record_scenario_trace(
+                cell.scenario, scheduler=cell.scheduler, seed=cell.seed,
+                num_jobs=3, num_executors=8,
+            ).digest
+            for cell in cells
+        ]
+        digests = {}
+        for workers in (1, 4):
+            with SweepWorkerPool(
+                num_workers=workers, num_jobs=3, num_executors=8
+            ) as pool:
+                digests[workers] = pool.record_trace_digests(cells)
+        assert digests[1] == digests[4] == local

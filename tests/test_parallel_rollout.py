@@ -6,6 +6,7 @@ import copy
 import numpy as np
 import pytest
 
+from _helpers import make_training_setup
 from repro.core import (
     DecimaAgent,
     DecimaConfig,
@@ -25,10 +26,7 @@ from repro.workloads import batched_arrivals, sample_tpch_jobs
 
 
 def small_setup(seed=0):
-    config = SimulatorConfig(num_executors=5, seed=0)
-    agent = DecimaAgent(total_executors=5, config=DecimaConfig(seed=seed))
-    factory = tpch_batch_factory(2, sizes=(2.0,))
-    return config, agent, factory
+    return make_training_setup(seed=seed, num_executors=5)
 
 
 def train_params(backend=None, **overrides):

@@ -8,12 +8,19 @@ The load-bearing guarantees:
   fallback heuristic) when the policy path is slow, dropping nothing;
 * a checkpoint round-trips through the service: actions served from a saved
   + re-loaded agent match in-process ``agent.act`` on the same cluster.
+
+The broad batched-vs-serial equivalence coverage moved to the differential
+runner (``tests/test_differential.py``, pair ``batched_vs_serial_service``);
+``TestBatchedSerialEquivalence`` below stays as the harness-independent
+canary for that pair.
 """
 
 import threading
 
 import numpy as np
 import pytest
+
+from _helpers import make_tpch_env as make_env
 
 from repro.core import (
     DecimaAgent,
@@ -51,19 +58,7 @@ from repro.service import (
 )
 from repro.simulator import SchedulingEnvironment, SimulatorConfig, latency_histogram
 from repro.simulator.environment import Action
-from repro.workloads import batched_arrivals, poisson_arrivals, sample_tpch_jobs
-
-
-def make_env(num_jobs=3, num_executors=8, seed=0, staggered=False):
-    rng = np.random.default_rng(seed)
-    jobs = sample_tpch_jobs(num_jobs, rng, sizes=(2.0, 5.0))
-    if staggered:
-        jobs = poisson_arrivals(jobs, 60.0, rng)
-    else:
-        jobs = batched_arrivals(jobs)
-    env = SchedulingEnvironment(SimulatorConfig(num_executors=num_executors, seed=seed))
-    return env, env.reset(jobs)
-
+from repro.workloads import batched_arrivals, sample_tpch_jobs
 
 # --------------------------------------------------------------------- helpers
 class TestLatencyHistogram:

@@ -13,6 +13,12 @@ tests pin that down at three levels:
 * fixed-seed rollouts and training produce identical actions and identical
   (rounded) parameter-hash fingerprints under both paths and both rollout
   backends.
+
+The broad sparse-vs-dense / cached-vs-scratch episode coverage moved to the
+differential runner (``tests/test_differential.py``, pairs
+``sparse_vs_dense_gnn`` and ``cached_vs_scratch_features``);
+``TestEndToEndEquivalence`` below keeps the harness-independent canaries
+(sampled-rollout action identity and training-fingerprint parity).
 """
 
 import copy
@@ -20,9 +26,9 @@ import copy
 import numpy as np
 import pytest
 
+from _helpers import make_decima_agent, make_tpch_env
 from repro.core import (
     DecimaAgent,
-    DecimaConfig,
     GNNConfig,
     GraphCache,
     GraphNeuralNetwork,
@@ -48,10 +54,7 @@ TOL = 1e-10
 
 
 def tpch_observation(num_jobs, num_executors=8, seed=0):
-    rng = np.random.default_rng(seed)
-    jobs = batched_arrivals(sample_tpch_jobs(num_jobs, rng, sizes=(2.0, 5.0)))
-    env = SchedulingEnvironment(SimulatorConfig(num_executors=num_executors, seed=seed))
-    return env, env.reset(jobs)
+    return make_tpch_env(num_jobs=num_jobs, num_executors=num_executors, seed=seed)
 
 
 def disconnected_observation():
@@ -218,12 +221,7 @@ class TestGraphCacheProperty:
 
 
 def make_agent(sparse: bool, executors: int = 8) -> DecimaAgent:
-    return DecimaAgent(
-        total_executors=executors,
-        config=DecimaConfig(
-            seed=0, sparse_message_passing=sparse, use_graph_cache=sparse
-        ),
-    )
+    return make_decima_agent(total_executors=executors, seed=0, sparse=sparse)
 
 
 class TestEndToEndEquivalence:
@@ -272,16 +270,6 @@ class TestEndToEndEquivalence:
         assert self.train_fingerprint(True, factory) == \
             self.train_fingerprint(False, factory)
 
-    def test_greedy_evaluation_identical(self):
-        rng = np.random.default_rng(2)
-        jobs = batched_arrivals(sample_tpch_jobs(3, rng, sizes=(2.0, 5.0)))
-        summaries = []
-        for sparse in (True, False):
-            from repro.core import evaluate_agent
-
-            summaries.append(
-                evaluate_agent(
-                    make_agent(sparse), jobs, SimulatorConfig(num_executors=8, seed=0)
-                )
-            )
-        assert summaries[0] == pytest.approx(summaries[1])
+    # Greedy sparse-vs-dense evaluation equivalence is now covered (more
+    # thoroughly, decision by decision) by the differential runner:
+    # tests/test_differential.py::TestImplementationPairs.

@@ -1,0 +1,102 @@
+"""Hypothesis fuzz: random small scenarios through the differential runner.
+
+Generates throwaway :class:`ScenarioSpec` values — random job counts, arrival
+processes and executor fleets (with optional churn) — and asserts that the
+fast/oracle pairs stay decision-identical on every one of them.  Exploration
+makes this slow; the tier-1 CI matrix deselects it (``-m "not slow"``) and
+the full-suite job on main pushes runs it.
+"""
+
+from functools import partial
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.scenarios import ScenarioSpec
+from repro.simulator.environment import ExecutorChurnEvent, SimulatorConfig
+from repro.verify import DifferentialTask, run_pair
+from repro.workloads import (
+    batched_arrivals,
+    bursty_arrivals,
+    poisson_arrivals,
+    sample_tpch_jobs,
+)
+
+pytestmark = pytest.mark.slow
+
+SETTINGS = settings(
+    max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def _fuzz_jobs(rng, num_jobs, arrival):
+    jobs = sample_tpch_jobs(num_jobs, rng, sizes=(2.0,))
+    if arrival == "poisson":
+        return poisson_arrivals(jobs, 30.0, rng)
+    if arrival == "bursty":
+        return bursty_arrivals(jobs, 30.0, rng)
+    return batched_arrivals(jobs)
+
+
+def fuzz_spec(num_jobs, num_executors, arrival, churn):
+    churn_events = ()
+    if churn and num_executors > 1:
+        churn_events = (
+            ExecutorChurnEvent(time=20.0, kind="executor_removed",
+                               count=max(1, num_executors // 2)),
+            ExecutorChurnEvent(time=60.0, kind="executor_added", count=1),
+        )
+    return ScenarioSpec(
+        name=f"fuzz-{num_jobs}j-{num_executors}e-{arrival}{'-churn' if churn else ''}",
+        description="hypothesis-generated scenario",
+        job_factory=partial(_fuzz_jobs, num_jobs=num_jobs, arrival=arrival),
+        simulator=SimulatorConfig(
+            num_executors=num_executors, max_time=5_000.0, churn_events=churn_events
+        ),
+        num_jobs=num_jobs,
+        tags=("fuzz",),
+    )
+
+
+scenario_strategy = st.builds(
+    fuzz_spec,
+    num_jobs=st.integers(min_value=1, max_value=3),
+    num_executors=st.integers(min_value=2, max_value=6),
+    arrival=st.sampled_from(["batched", "poisson", "bursty"]),
+    churn=st.booleans(),
+)
+
+
+class TestFuzzedDifferentials:
+    @SETTINGS
+    @given(spec=scenario_strategy, seed=st.integers(min_value=0, max_value=2**20))
+    def test_sparse_vs_dense_gnn(self, spec, seed):
+        task = DifferentialTask(scenario=spec, seed=seed, max_decisions=40)
+        report = run_pair("sparse_vs_dense_gnn", task)
+        assert report.ok, report.describe()
+
+    @SETTINGS
+    @given(spec=scenario_strategy, seed=st.integers(min_value=0, max_value=2**20))
+    def test_cached_vs_scratch_features(self, spec, seed):
+        task = DifferentialTask(scenario=spec, seed=seed, max_decisions=40)
+        report = run_pair("cached_vs_scratch_features", task)
+        assert report.ok, report.describe()
+
+    @SETTINGS
+    @given(spec=scenario_strategy, seed=st.integers(min_value=0, max_value=2**20))
+    def test_fast_vs_full_reference(self, spec, seed):
+        task = DifferentialTask(scenario=spec, seed=seed, max_decisions=40)
+        report = run_pair("fast_vs_reference", task)
+        assert report.ok, report.describe()
+
+    @SETTINGS
+    @given(spec=scenario_strategy, seed=st.integers(min_value=0, max_value=2**16))
+    def test_record_replay_round_trip(self, spec, seed):
+        """Any fuzzed scenario records and replays (apply mode) cleanly."""
+        from repro.verify import ReplayEngine, record_scenario_trace
+
+        trace = record_scenario_trace(spec, scheduler="fifo", seed=seed,
+                                      max_decisions=40)
+        report = ReplayEngine("apply").replay(trace, spec=spec)
+        assert report.ok, report.describe()
