@@ -15,6 +15,12 @@ Run against a server you started yourself:
 or let the load generator self-host one (the CI smoke path):
 
     python examples/run_policy_loadgen.py --serve --sessions 4 --decisions 200
+
+With ``--shards N`` the self-hosted target is a full sharded fleet (N shard
+processes behind the session-hashing router); the summary then also carries a
+control-plane snapshot (per-shard health and broker/SLO stats).  Against an
+externally-started fleet, pass its control address via ``--control`` to get
+the same snapshot.
 """
 
 import argparse
@@ -22,7 +28,7 @@ import json
 import sys
 
 from repro.core import DecimaAgent, DecimaConfig
-from repro.service import PolicyServer, run_load
+from repro.service import ControlClient, PolicyServer, ServingFleet, run_load
 
 
 def main() -> None:
@@ -44,6 +50,13 @@ def main() -> None:
                         help="SLO for the self-hosted server (--serve only)")
     parser.add_argument("--serial", action="store_true",
                         help="self-hosted server answers serially (--serve only)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="self-host a fleet with this many shard processes")
+    parser.add_argument("--max-sessions", type=int, default=None,
+                        help="admission limit for the self-hosted fleet")
+    parser.add_argument("--control", metavar="HOST:PORT", default=None,
+                        help="control-plane address of an external fleet "
+                             "(snapshot health/stats into the summary)")
     parser.add_argument("--out", help="write the summary JSON to this path")
     args = parser.parse_args()
 
@@ -51,15 +64,35 @@ def main() -> None:
         args.serve = True  # sensible default: a self-contained run
 
     server = None
+    control_address = None
+    if args.control:
+        control_host, _, control_port = args.control.partition(":")
+        if not control_port:
+            parser.error("--control needs HOST:PORT")
+        control_address = (control_host, int(control_port))
     if args.serve:
         agent = DecimaAgent(
             total_executors=args.executors, config=DecimaConfig(seed=args.seed)
         )
-        server = PolicyServer(
-            agent, slo_ms=args.slo_ms, batched=not args.serial
-        )
-        host, port = server.start()
-        print(f"Self-hosted policy server on {host}:{port}")
+        if args.shards > 1:
+            server = ServingFleet(
+                agent,
+                num_shards=args.shards,
+                max_sessions=args.max_sessions,
+                slo_ms=args.slo_ms,
+                batched=not args.serial,
+            )
+            host, port = server.start()
+            control_address = server.control_address
+            print(f"Self-hosted serving fleet ({args.shards} shards) on "
+                  f"{host}:{port}; control plane on "
+                  f"{control_address[0]}:{control_address[1]}")
+        else:
+            server = PolicyServer(
+                agent, slo_ms=args.slo_ms, batched=not args.serial
+            )
+            host, port = server.start()
+            print(f"Self-hosted policy server on {host}:{port}")
     else:
         host, _, port_text = args.connect.partition(":")
         if not port_text:
@@ -76,6 +109,14 @@ def main() -> None:
             min_total_decisions=args.decisions,
             seed=args.seed,
         )
+        if control_address is not None:
+            # Snapshot the fleet's control plane while the shards are still
+            # up: per-shard liveness, placement and broker/SLO accounting.
+            with ControlClient(*control_address) as control:
+                summary["control"] = {
+                    "health": control.health(),
+                    "stats": control.stats(),
+                }
     finally:
         if server is not None:
             server.stop()
@@ -87,6 +128,11 @@ def main() -> None:
     print(f"sources: {summary['sources']}")
     print(f"latency ms: p50={latency['p50']:.2f} p95={latency['p95']:.2f} "
           f"p99={latency['p99']:.2f} (n={latency['count']})")
+    if "control" in summary:
+        health = summary["control"]["health"]
+        print(f"fleet health: {health['num_healthy']}/{len(health['shards'])} "
+              f"shards healthy; per-shard decisions: "
+              f"{[s.get('broker', {}).get('num_decisions') for s in summary['control']['stats']['shards']]}")
     if args.out:
         with open(args.out, "w") as handle:
             json.dump(summary, handle, indent=2, sort_keys=True)

@@ -8,9 +8,16 @@ inference across whatever sessions have a request pending.  A per-request SLO
 (``--slo-ms``) guards the policy path — when it breaches, a circuit-breaker
 temporarily routes decisions to the per-session fallback heuristic.
 
+With ``--shards N`` (N > 1) the single server becomes a **sharded fleet**: N
+shard processes, each with its own copy of the agent and its own broker,
+behind a session-hashing router that applies admission control and exposes a
+control plane (health / stats / live reconfiguration) on a second port —
+point ``ControlClient`` (or ``run_policy_loadgen.py --control``) at it.
+
 Run:  python examples/run_policy_server.py --run-dir runs/tpch     # latest.json
       python examples/run_policy_server.py --checkpoint model.npz  # explicit file
       python examples/run_policy_server.py --executors 20          # untrained net
+      python examples/run_policy_server.py --shards 4 --max-sessions 64  # fleet
 
 Then drive traffic at it with examples/run_policy_loadgen.py.
 """
@@ -20,7 +27,7 @@ import time
 
 from repro.core import DecimaAgent, DecimaConfig, load_agent, load_latest
 from repro.schedulers import scheduler_names
-from repro.service import PolicyServer
+from repro.service import AsyncPolicyServer, PolicyServer, ServingFleet
 
 
 def build_agent(args) -> DecimaAgent:
@@ -56,22 +63,50 @@ def main() -> None:
                         help="disable cross-session batching (serial reference path)")
     parser.add_argument("--sample", action="store_true",
                         help="sample actions instead of greedy arg-max")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="shard processes; >1 serves a router-fronted fleet")
+    parser.add_argument("--control-port", type=int, default=0,
+                        help="control-plane port for the fleet (0 = pick one)")
+    parser.add_argument("--max-sessions", type=int, default=None,
+                        help="fleet admission limit (concurrent sessions)")
+    parser.add_argument("--asyncio", action="store_true",
+                        help="use the asyncio transport for a single server")
     args = parser.parse_args()
 
     agent = build_agent(args)
-    server = PolicyServer(
-        agent,
-        host=args.host,
-        port=args.port,
+    policy_kwargs = dict(
         fallback=args.fallback,
         slo_ms=args.slo_ms,
         batched=not args.serial,
         greedy=not args.sample,
     )
-    host, port = server.start()
     mode = "serial" if args.serial else "batched"
     slo = f"{args.slo_ms:.0f} ms SLO -> {args.fallback}" if args.slo_ms else "no SLO"
-    print(f"Policy server listening on {host}:{port} ({mode} inference, {slo})")
+    if args.shards > 1:
+        server = ServingFleet(
+            agent,
+            num_shards=args.shards,
+            host=args.host,
+            port=args.port,
+            control_port=args.control_port,
+            max_sessions=args.max_sessions,
+            **policy_kwargs,
+        )
+        host, port = server.start()
+        control_host, control_port = server.control_address
+        limit = args.max_sessions if args.max_sessions is not None else "unlimited"
+        print(f"Serving fleet: {args.shards} shards behind {host}:{port} "
+              f"({mode} inference, {slo}, admission limit {limit})")
+        print(f"Control plane (health/stats/reconfigure) on "
+              f"{control_host}:{control_port}")
+    else:
+        server_class = AsyncPolicyServer if args.asyncio else PolicyServer
+        server = server_class(agent, host=args.host, port=args.port,
+                              **policy_kwargs)
+        host, port = server.start()
+        transport = "asyncio" if args.asyncio else "threaded"
+        print(f"Policy server listening on {host}:{port} "
+              f"({transport} transport, {mode} inference, {slo})")
     print("Press Ctrl-C to stop.")
     try:
         while True:

@@ -12,19 +12,42 @@ path: when it breaches, a circuit-breaker temporarily routes decisions to the
 session's registered fallback heuristic (any name in the scheduler registry)
 so clusters keep scheduling.
 
+Beyond the single-process server, the package scales out as a **sharded
+fleet**: N :class:`AsyncPolicyServer` shard processes (each with its own
+agent + broker) behind a :class:`ShardRouter` front that hashes sessions to
+shards, applies admission control under overload, and exposes a control-plane
+endpoint (health / per-shard SLO stats / live reconfiguration).
+:class:`ServingFleet` wires the whole topology up with one call.  Router→shard
+dispatch stays bit-identical to single-server serial dispatch at fixed seeds
+(the ``sharded_vs_serial_service`` differential pair).
+
 Layers (see ``docs/ARCHITECTURE.md``, "Serving layer"):
 
 * :mod:`~repro.service.protocol` — the wire format (observation snapshots in,
   actions out);
 * :mod:`~repro.service.session`  — per-cluster shadow job DAGs + policy state;
-* :mod:`~repro.service.batcher`  — cross-session batching and the SLO breaker;
-* :mod:`~repro.service.server` / :mod:`~repro.service.client` — the TCP
-  service and its synchronous client (plus the episode driver);
+* :mod:`~repro.service.batcher`  — cross-session batching, the adaptive batch
+  window and the SLO breaker;
+* :mod:`~repro.service.server` / :mod:`~repro.service.aioserver` — the
+  threaded and asyncio transports over one :class:`ServerCore`;
+* :mod:`~repro.service.router` / :mod:`~repro.service.fleet` — the sharded
+  fleet: session-hashing router, admission control, control plane, shard
+  process management;
+* :mod:`~repro.service.client`  — the synchronous session + control clients
+  (plus the episode driver);
 * :mod:`~repro.service.loadgen`  — the synthetic multi-session load generator.
 """
 
-from .batcher import CircuitBreaker, DecisionRequest, DecisionResult, RequestBroker
-from .client import PolicyClient, decode_action, drive_episode
+from .aioserver import AsyncPolicyServer
+from .batcher import (
+    AdaptiveBatchWindow,
+    CircuitBreaker,
+    DecisionRequest,
+    DecisionResult,
+    RequestBroker,
+)
+from .client import ControlClient, PolicyClient, decode_action, drive_episode
+from .fleet import ServingFleet
 from .loadgen import run_load
 from .protocol import (
     ProtocolError,
@@ -33,11 +56,15 @@ from .protocol import (
     read_message,
     write_message,
 )
-from .server import PolicyServer
+from .router import ShardRouter, ShardState, shard_for_session
+from .server import PolicyServer, ServerCore
 from .session import SessionState
 
 __all__ = [
+    "AdaptiveBatchWindow",
+    "AsyncPolicyServer",
     "CircuitBreaker",
+    "ControlClient",
     "DecisionRequest",
     "DecisionResult",
     "RequestBroker",
@@ -46,10 +73,15 @@ __all__ = [
     "drive_episode",
     "run_load",
     "ProtocolError",
+    "ServingFleet",
+    "ShardRouter",
+    "ShardState",
+    "shard_for_session",
     "encode_message",
     "encode_observation",
     "read_message",
     "write_message",
     "PolicyServer",
+    "ServerCore",
     "SessionState",
 ]

@@ -27,15 +27,86 @@ alone, in any batch composition, or through the serial reference path
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from ..core.agent import DecimaAgent
 from ..core.features import MergedStructureCache
 from ..simulator.environment import Action, Observation
+from ..simulator.metrics import latency_histogram
 from .session import SessionState
 
-__all__ = ["CircuitBreaker", "DecisionRequest", "DecisionResult", "RequestBroker"]
+__all__ = [
+    "AdaptiveBatchWindow",
+    "CircuitBreaker",
+    "DecisionRequest",
+    "DecisionResult",
+    "RequestBroker",
+]
+
+# Broker-level latency samples kept for per-shard SLO accounting; decisions
+# beyond this window age out (the counters never do).
+_BROKER_LATENCY_WINDOW = 10_000
+
+
+class AdaptiveBatchWindow:
+    """Scale the dispatcher's coalescing window with offered load.
+
+    The window is how long the dispatcher holds a batch open for stragglers
+    after the first request lands.  Its ideal size depends on the offered
+    load: with one or two live sessions any wait is pure latency, while with
+    dozens of concurrent sessions a few extra milliseconds turns many small
+    forwards into one big merged forward.  Rather than pin one compromise
+    value, the window tracks an exponential moving average of recent batch
+    sizes and interpolates between ``min_ms`` (idle) and ``max_ms``
+    (saturated at ``saturate_at`` coalesced sessions).
+
+    Timing never changes decisions (batch composition is behaviour-neutral,
+    see :class:`RequestBroker`), so this is purely a throughput/latency
+    trade-off knob.
+    """
+
+    def __init__(
+        self,
+        min_ms: float = 0.2,
+        max_ms: float = 8.0,
+        alpha: float = 0.2,
+        saturate_at: int = 16,
+    ):
+        if min_ms < 0 or max_ms < min_ms:
+            raise ValueError("need 0 <= min_ms <= max_ms")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if saturate_at < 2:
+            raise ValueError("saturate_at must be >= 2")
+        self.min_ms = float(min_ms)
+        self.max_ms = float(max_ms)
+        self.alpha = float(alpha)
+        self.saturate_at = int(saturate_at)
+        self._ema_batch_size = 1.0
+
+    def observe(self, batch_size: int) -> None:
+        """Feed one dispatched batch's size into the load estimate."""
+        self._ema_batch_size += self.alpha * (float(batch_size) - self._ema_batch_size)
+
+    @property
+    def ema_batch_size(self) -> float:
+        return self._ema_batch_size
+
+    def seconds(self) -> float:
+        """The current coalescing window, in seconds."""
+        load = (self._ema_batch_size - 1.0) / (self.saturate_at - 1.0)
+        fraction = min(1.0, max(0.0, load))
+        return (self.min_ms + (self.max_ms - self.min_ms) * fraction) / 1000.0
+
+    def stats(self) -> dict:
+        return {
+            "ema_batch_size": self._ema_batch_size,
+            "window_ms": self.seconds() * 1000.0,
+            "min_ms": self.min_ms,
+            "max_ms": self.max_ms,
+        }
 
 
 class CircuitBreaker:
@@ -144,6 +215,13 @@ class RequestBroker:
         self.merge_cache = MergedStructureCache()
         self.num_batches = 0
         self.max_batch_size = 0
+        # Broker-wide decision accounting (sessions keep their own too, but
+        # they disconnect and take their counters with them — these survive,
+        # which is what a shard's control-plane SLO report needs).
+        self.num_decisions = 0
+        self.num_fallback_decisions = 0
+        self.num_slo_breaches = 0
+        self.latencies: deque = deque(maxlen=_BROKER_LATENCY_WINDOW)
 
     # ----------------------------------------------------------------- policy
     def _policy_batched(
@@ -256,6 +334,18 @@ class RequestBroker:
         requests: Sequence[DecisionRequest],
         results: Sequence[Optional[DecisionResult]],
     ) -> list[DecisionResult]:
+        for result in results:
+            if result is None or result.source == "noop":
+                continue
+            self.num_decisions += 1
+            if result.source == "fallback":
+                self.num_fallback_decisions += 1
+            self.latencies.append(result.latency_seconds)
+            if (
+                self.breaker is not None
+                and result.latency_seconds > self.breaker.slo_seconds
+            ):
+                self.num_slo_breaches += 1
         if self.decision_tap is not None:
             for request, result in zip(requests, results):
                 self.decision_tap(request, result)  # type: ignore[arg-type]
@@ -267,6 +357,12 @@ class RequestBroker:
             "greedy": self.greedy,
             "num_batches": self.num_batches,
             "max_batch_size": self.max_batch_size,
+            "num_decisions": self.num_decisions,
+            "num_fallback_decisions": self.num_fallback_decisions,
+            "num_slo_breaches": self.num_slo_breaches,
+            "latency_ms": latency_histogram(
+                [seconds * 1000.0 for seconds in self.latencies]
+            ),
             "merged_structure_rebuilds": self.merge_cache.num_rebuilds,
             "breaker": self.breaker.stats() if self.breaker is not None else None,
         }

@@ -1,12 +1,17 @@
-"""Client side of the policy service: the wire client and an episode driver.
+"""Client side of the policy service: wire clients and an episode driver.
 
 :class:`PolicyClient` is the raw synchronous protocol client (one session per
-connection).  :func:`drive_episode` is the reference *consumer*: it runs a
-local :class:`~repro.simulator.SchedulingEnvironment` as the "cluster", ships
-every observation to the server, applies the returned action and steps the
-simulator — i.e. exactly the loop a live cluster's scheduler agent would run,
-with simulated time standing in for the cluster.  The load generator and the
-CI smoke test both drive this loop.
+connection) — it speaks the identical protocol to a single
+:class:`~repro.service.server.PolicyServer`, an
+:class:`~repro.service.aioserver.AsyncPolicyServer` shard, or a
+:class:`~repro.service.router.ShardRouter` front.  :class:`ControlClient`
+talks to the router's control plane (health, fleet stats, live
+reconfiguration).  :func:`drive_episode` is the reference *consumer*: it runs
+a local :class:`~repro.simulator.SchedulingEnvironment` as the "cluster",
+ships every observation to the server, applies the returned action and steps
+the simulator — i.e. exactly the loop a live cluster's scheduler agent would
+run, with simulated time standing in for the cluster.  The load generator and
+the CI smoke test both drive this loop.
 """
 
 from __future__ import annotations
@@ -18,18 +23,16 @@ from ..simulator.environment import Action, Observation, SchedulingEnvironment
 from ..simulator.jobdag import JobDAG
 from .protocol import ProtocolError, encode_observation, read_message, write_message
 
-__all__ = ["PolicyClient", "decode_action", "drive_episode"]
+__all__ = ["ControlClient", "PolicyClient", "decode_action", "drive_episode"]
 
 
-class PolicyClient:
-    """Synchronous newline-delimited-JSON client for one cluster session."""
+class _LineClient:
+    """Shared request/response plumbing of the synchronous wire clients."""
 
     def __init__(self, host: str, port: int, timeout: Optional[float] = 30.0):
         self._socket = socket.create_connection((host, port), timeout=timeout)
         self._stream = self._socket.makefile("rwb")
-        self.session_id: Optional[str] = None
 
-    # ----------------------------------------------------------------- frames
     def request(self, payload: dict) -> dict:
         """Send one frame and read its reply (raises on ``error`` replies)."""
         write_message(self._stream, payload)
@@ -37,8 +40,42 @@ class PolicyClient:
         if reply is None:
             raise ProtocolError("server closed the connection")
         if reply["type"] == "error":
-            raise ProtocolError(reply.get("message", "unknown server error"))
+            raise ProtocolError(
+                reply.get("message", "unknown server error"),
+                code=reply.get("code"),
+            )
         return reply
+
+    def bye(self) -> None:
+        try:
+            self.request({"type": "bye"})
+        except (ProtocolError, OSError):
+            pass
+
+    def close(self) -> None:
+        try:
+            self._stream.close()
+        except OSError:
+            pass
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.bye()
+        self.close()
+
+
+class PolicyClient(_LineClient):
+    """Synchronous newline-delimited-JSON client for one cluster session."""
+
+    def __init__(self, host: str, port: int, timeout: Optional[float] = 30.0):
+        super().__init__(host, port, timeout=timeout)
+        self.session_id: Optional[str] = None
 
     # ------------------------------------------------------------------- API
     def hello(
@@ -73,28 +110,27 @@ class PolicyClient:
     def stats(self) -> dict:
         return self.request({"type": "stats"})
 
-    def bye(self) -> None:
-        try:
-            self.request({"type": "bye"})
-        except (ProtocolError, OSError):
-            pass
 
-    def close(self) -> None:
-        try:
-            self._stream.close()
-        except OSError:
-            pass
-        try:
-            self._socket.close()
-        except OSError:
-            pass
+class ControlClient(_LineClient):
+    """Synchronous client for the router's control plane.
 
-    def __enter__(self) -> "PolicyClient":
-        return self
+    Connect it to :attr:`ShardRouter.control_address` (or
+    :attr:`ServingFleet.control_address`); one connection can issue any
+    number of control requests.
+    """
 
-    def __exit__(self, *exc_info) -> None:
-        self.bye()
-        self.close()
+    def health(self) -> dict:
+        """Actively probe every shard; returns per-shard liveness + placement."""
+        return self.request({"type": "health"})
+
+    def stats(self) -> dict:
+        """Router counters plus each shard's broker/SLO accounting."""
+        return self.request({"type": "stats"})
+
+    def reconfigure(self, **changes) -> dict:
+        """Live reconfiguration, e.g. ``reconfigure(max_sessions=32)`` or
+        ``reconfigure(shard=1, draining=True)``."""
+        return self.request({"type": "reconfigure", **changes})
 
 
 def decode_action(reply: dict, observation: Observation) -> Optional[Action]:

@@ -1,0 +1,187 @@
+"""The serving fleet: N shard processes behind one router front.
+
+A *shard* is one OS process running an
+:class:`~repro.service.aioserver.AsyncPolicyServer` with its **own** agent
+(rebuilt from a picklable :class:`~repro.core.checkpoints.AgentSpec` + state
+dict, the same mechanism the rollout worker pool uses) and its own request
+broker — so shards share nothing and scale with cores, not threads.
+:class:`ServingFleet` spawns the shards, waits for each to report its bound
+port, then fronts them with a :class:`~repro.service.router.ShardRouter`
+(session hashing, admission control, control plane).
+
+Clients are oblivious: they speak the exact same protocol to the router's
+address that they would to a single :class:`PolicyServer`.  Decisions are
+bit-identical to a single server at fixed seeds because a session's decisions
+depend only on its own rng/cache/observations and every shard hosts an
+identically-parameterised agent (pinned by the ``sharded_vs_serial_service``
+differential pair).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Optional
+
+from ..core.agent import DecimaAgent
+from ..core.checkpoints import AgentSpec, agent_spec, build_agent
+from .router import ShardRouter
+
+__all__ = ["ServingFleet"]
+
+
+def _shard_main(connection, spec: AgentSpec, state, host: str, server_kwargs: dict):
+    """Entry point of one shard process: serve until the parent says stop."""
+    from .aioserver import AsyncPolicyServer
+
+    agent = build_agent(spec, state)
+    server = AsyncPolicyServer(agent, host=host, port=0, **server_kwargs)
+    try:
+        address = server.start()
+    except Exception as error:  # noqa: BLE001 - parent needs the reason
+        connection.send(("error", repr(error)))
+        return
+    connection.send(("ready", address))
+    try:
+        # Block until the parent sends the stop token or dies (EOF).
+        connection.recv()
+    except (EOFError, OSError):
+        pass
+    finally:
+        server.stop()
+        connection.close()
+
+
+class ServingFleet:
+    """Spawn shard server processes and front them with a router."""
+
+    def __init__(
+        self,
+        agent: DecimaAgent,
+        num_shards: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        control_port: int = 0,
+        max_sessions: Optional[int] = None,
+        start_method: Optional[str] = None,
+        **server_kwargs,
+    ):
+        if num_shards < 1:
+            raise ValueError("a fleet needs at least one shard")
+        self._spec = agent_spec(agent)
+        self._state = agent.state_dict()
+        self.num_shards = int(num_shards)
+        self.host = host
+        self.port = int(port)
+        self.control_port = int(control_port)
+        self.max_sessions = max_sessions
+        self.server_kwargs = dict(server_kwargs)
+        if start_method is None:
+            start_method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        self._context = mp.get_context(start_method)
+        self.processes: list = []
+        self._connections: list = []
+        self.shard_addresses: list = []
+        self.router: Optional[ShardRouter] = None
+        self._running = False
+
+    # -------------------------------------------------------------- lifecycle
+    @property
+    def address(self) -> tuple:
+        """The router's data-plane ``(host, port)``."""
+        if self.router is None:
+            raise RuntimeError("fleet is not started")
+        return self.router.address
+
+    @property
+    def control_address(self) -> tuple:
+        """The router's control-plane ``(host, port)``."""
+        if self.router is None:
+            raise RuntimeError("fleet is not started")
+        return self.router.control_address
+
+    def start(self) -> tuple:
+        if self._running:
+            raise RuntimeError("fleet already started")
+        try:
+            for index in range(self.num_shards):
+                parent_conn, child_conn = self._context.Pipe()
+                process = self._context.Process(
+                    target=_shard_main,
+                    args=(child_conn, self._spec, self._state, self.host,
+                          self.server_kwargs),
+                    name=f"policy-shard-{index}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self.processes.append(process)
+                self._connections.append(parent_conn)
+            for index, connection in enumerate(self._connections):
+                if not connection.poll(timeout=60.0):
+                    raise RuntimeError(f"shard {index} did not come up in time")
+                status, payload = connection.recv()
+                if status != "ready":
+                    raise RuntimeError(f"shard {index} failed to start: {payload}")
+                self.shard_addresses.append(tuple(payload))
+            self.router = ShardRouter(
+                self.shard_addresses,
+                host=self.host,
+                port=self.port,
+                control_port=self.control_port,
+                max_sessions=self.max_sessions,
+            )
+            self.router.start()
+        except Exception:
+            self._teardown()
+            raise
+        self._running = True
+        return self.router.address
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        self._teardown()
+
+    def _teardown(self) -> None:
+        if self.router is not None:
+            try:
+                self.router.stop()
+            except Exception:  # noqa: BLE001 - best-effort teardown
+                pass
+            self.router = None
+        for connection in self._connections:
+            try:
+                connection.send("stop")
+            except (BrokenPipeError, OSError):
+                pass  # shard already dead (e.g. fault-injection killed it)
+        for process in self.processes:
+            process.join(timeout=10.0)
+        for process in self.processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        for connection in self._connections:
+            try:
+                connection.close()
+            except OSError:
+                pass
+        self.processes.clear()
+        self._connections.clear()
+        self.shard_addresses.clear()
+
+    def __enter__(self) -> "ServingFleet":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ faults
+    def kill_shard(self, index: int) -> None:
+        """Fault injection: hard-kill one shard process (SIGKILL, no cleanup)."""
+        if not 0 <= index < len(self.processes):
+            raise IndexError(f"no shard {index}")
+        process = self.processes[index]
+        process.kill()
+        process.join(timeout=10.0)

@@ -26,7 +26,23 @@ Request types:
     Close the session; the server replies ``goodbye`` and drops it.
 
 Errors are reported as ``{"type": "error", "message", ...}`` replies; the
-connection stays usable unless framing itself broke.
+connection stays usable unless framing itself broke.  Fleet-level failures
+additionally carry a machine-readable ``code``:
+
+``admission_rejected``
+    The router refused a new session because the fleet is at its admission
+    limit; retry later or against another fleet.
+``shard_failed``
+    The shard hosting this session died mid-session; the session is gone and
+    the client must re-``hello`` (the router routes new sessions around the
+    dead shard).
+``no_healthy_shards``
+    Every shard is unhealthy or draining; the fleet cannot admit sessions.
+
+The router's **control plane** (a second listener, same framing) speaks
+``health`` (per-shard liveness probe), ``stats`` (router counters + per-shard
+broker/SLO accounting) and ``reconfigure`` (live admission-limit changes,
+shard drain/undrain) — see :mod:`repro.service.router`.
 """
 
 from __future__ import annotations
@@ -40,6 +56,7 @@ __all__ = [
     "ProtocolError",
     "encode_message",
     "write_message",
+    "decode_frame",
     "read_message",
     "encode_observation",
 ]
@@ -48,7 +65,16 @@ PROTOCOL_VERSION = 1
 
 
 class ProtocolError(RuntimeError):
-    """A malformed frame or an out-of-protocol message."""
+    """A malformed frame or an out-of-protocol message.
+
+    ``code`` carries the machine-readable error code of fleet-level error
+    frames (``admission_rejected``, ``shard_failed``, ``no_healthy_shards``);
+    plain protocol violations leave it ``None``.
+    """
+
+    def __init__(self, message: str, code: Optional[str] = None):
+        super().__init__(message)
+        self.code = code
 
 
 def encode_message(payload: dict) -> bytes:
@@ -62,11 +88,8 @@ def write_message(stream, payload: dict) -> None:
     stream.flush()
 
 
-def read_message(stream) -> Optional[dict]:
-    """Read one frame; ``None`` on a cleanly closed stream."""
-    line = stream.readline()
-    if not line:
-        return None
+def decode_frame(line: bytes) -> dict:
+    """Decode one received wire frame (shared by the sync and async readers)."""
     try:
         payload = json.loads(line.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -74,6 +97,14 @@ def read_message(stream) -> Optional[dict]:
     if not isinstance(payload, dict) or "type" not in payload:
         raise ProtocolError("every frame must be a JSON object with a 'type'")
     return payload
+
+
+def read_message(stream) -> Optional[dict]:
+    """Read one frame; ``None`` on a cleanly closed stream."""
+    line = stream.readline()
+    if not line:
+        return None
+    return decode_frame(line)
 
 
 def encode_observation(observation: Observation) -> dict:

@@ -1,0 +1,517 @@
+"""Session router / load-balancer front for a sharded policy-serving fleet.
+
+The router owns no policy and no sessions' state — it is a thin, stateless-
+per-request front that:
+
+* **hashes sessions to shards**: a session id deterministically prefers
+  ``crc32(session_id) % num_shards`` (:func:`shard_for_session`) and walks
+  forward to the next healthy, non-draining shard.  One session lives on
+  exactly one shard for its whole life, so the shard's shadow DAGs, graph
+  cache and rng stream stay session-local exactly as in a single server;
+* **applies admission control**: above ``max_sessions`` concurrent sessions
+  a new ``hello`` is refused with an ``admission_rejected`` error frame
+  instead of letting overload grow unbounded queues inside the shards;
+* **reports per-session failures cleanly**: when the shard hosting a
+  session dies mid-request, the client gets a ``shard_failed`` error frame
+  (not a hang, not a raw reset), the shard is marked unhealthy, and new
+  sessions route around it;
+* **exposes a control plane** on a second listener (mirroring the compute /
+  control API split of SiNE's channel server): ``health`` actively probes
+  every shard, ``stats`` aggregates router counters with each shard's
+  broker/SLO accounting, and ``reconfigure`` changes the admission limit or
+  drains/undrains/revives shards live, without restarting anything.
+
+Like :class:`~repro.service.aioserver.AsyncPolicyServer`, the router runs
+its event loop in a background thread so the blocking ``start()/stop()``
+lifecycle matches the rest of the serving stack.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import zlib
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .protocol import ProtocolError, decode_frame, encode_message
+
+__all__ = ["ShardRouter", "ShardState", "shard_for_session"]
+
+
+def shard_for_session(session_id: str, num_shards: int) -> int:
+    """The shard a session id *prefers* (stable hash, not load-dependent)."""
+    if num_shards < 1:
+        raise ValueError("need at least one shard")
+    return zlib.crc32(str(session_id).encode("utf-8")) % num_shards
+
+
+@dataclass
+class ShardState:
+    """The router's view of one shard."""
+
+    host: str
+    port: int
+    index: int
+    healthy: bool = True
+    draining: bool = False
+    active_sessions: int = 0
+    failures: int = 0
+
+    def accepts_new_sessions(self) -> bool:
+        return self.healthy and not self.draining
+
+    def describe(self) -> dict:
+        return {
+            "index": self.index,
+            "host": self.host,
+            "port": self.port,
+            "healthy": self.healthy,
+            "draining": self.draining,
+            "active_sessions": self.active_sessions,
+            "failures": self.failures,
+        }
+
+
+@dataclass
+class _RouterCounters:
+    routed_sessions: int = 0
+    rejected_sessions: int = 0
+    shard_failures: int = 0
+    forwarded_frames: int = 0
+    reconfigurations: int = 0
+
+    def describe(self) -> dict:
+        return dict(self.__dict__)
+
+
+class ShardRouter:
+    """Route cluster sessions across shard servers; serve the control plane."""
+
+    def __init__(
+        self,
+        shards: Sequence[tuple],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        control_port: int = 0,
+        max_sessions: Optional[int] = None,
+        connect_timeout: float = 5.0,
+        probe_timeout: float = 2.0,
+    ):
+        if not shards:
+            raise ValueError("a router needs at least one shard address")
+        self.shards = [
+            ShardState(host=shard_host, port=int(shard_port), index=index)
+            for index, (shard_host, shard_port) in enumerate(shards)
+        ]
+        self.host = host
+        self.port = int(port)
+        self.control_port = int(control_port)
+        self.max_sessions = None if max_sessions is None else int(max_sessions)
+        self.connect_timeout = float(connect_timeout)
+        self.probe_timeout = float(probe_timeout)
+        self.counters = _RouterCounters()
+        self._active_sessions = 0
+        self._session_counter = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_thread: Optional[threading.Thread] = None
+        self._data_server: Optional[asyncio.AbstractServer] = None
+        self._control_server: Optional[asyncio.AbstractServer] = None
+        self._address: Optional[tuple] = None
+        self._control_address: Optional[tuple] = None
+        self._running = False
+
+    # -------------------------------------------------------------- lifecycle
+    @property
+    def address(self) -> tuple:
+        if self._address is None:
+            raise RuntimeError("router is not started")
+        return self._address
+
+    @property
+    def control_address(self) -> tuple:
+        if self._control_address is None:
+            raise RuntimeError("router is not started")
+        return self._control_address
+
+    def start(self) -> tuple:
+        if self._running:
+            raise RuntimeError("router already started")
+        self._loop = asyncio.new_event_loop()
+        self._loop_thread = threading.Thread(
+            target=self._loop.run_forever, name="shard-router-loop", daemon=True
+        )
+        self._loop_thread.start()
+        future = asyncio.run_coroutine_threadsafe(self._start_serving(), self._loop)
+        self._address, self._control_address = future.result(timeout=10.0)
+        self._running = True
+        return self._address
+
+    async def _start_serving(self):
+        self._data_server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self._control_server = await asyncio.start_server(
+            self._handle_control, self.host, self.control_port
+        )
+        return (
+            self._data_server.sockets[0].getsockname()[:2],
+            self._control_server.sockets[0].getsockname()[:2],
+        )
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        assert self._loop is not None
+        future = asyncio.run_coroutine_threadsafe(self._shutdown(), self._loop)
+        try:
+            future.result(timeout=10.0)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            if self._loop_thread is not None:
+                self._loop_thread.join(timeout=5.0)
+            self._loop.close()
+            self._loop = None
+            self._loop_thread = None
+
+    async def _shutdown(self) -> None:
+        for server in (self._data_server, self._control_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+
+    def __enter__(self) -> "ShardRouter":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # --------------------------------------------------------------- data path
+    async def _write(self, writer: asyncio.StreamWriter, payload: dict) -> None:
+        writer.write(encode_message(payload))
+        await writer.drain()
+
+    def _pick_shard(self, session_id: str) -> Optional[ShardState]:
+        """Preferred shard by hash; walk forward past unhealthy/draining ones."""
+        preferred = shard_for_session(session_id, len(self.shards))
+        for offset in range(len(self.shards)):
+            shard = self.shards[(preferred + offset) % len(self.shards)]
+            if shard.accepts_new_sessions():
+                return shard
+        return None
+
+    def _mark_failed(self, shard: ShardState) -> None:
+        shard.healthy = False
+        shard.failures += 1
+        self.counters.shard_failures += 1
+
+    async def _connect_shard(self, session_id: str):
+        """Open a connection on the session's shard, failing over as needed."""
+        while True:
+            shard = self._pick_shard(session_id)
+            if shard is None:
+                return None, None, None
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(shard.host, shard.port),
+                    timeout=self.connect_timeout,
+                )
+                return shard, reader, writer
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                # Dead at connect time: mark it and retry the pick, which now
+                # walks past this shard (reassignment of its hash slot).
+                self._mark_failed(shard)
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        shard: Optional[ShardState] = None
+        shard_reader = shard_writer = None
+        admitted = False
+        try:
+            # The first frame must open the session: everything the router
+            # does (admission, placement) keys off the hello.
+            line = await reader.readline()
+            if not line:
+                return
+            try:
+                message = decode_frame(line)
+            except ProtocolError as error:
+                await self._write(writer, {"type": "error", "message": str(error)})
+                return
+            if message["type"] != "hello":
+                await self._write(
+                    writer,
+                    {"type": "error",
+                     "message": "the router requires 'hello' as the first frame"},
+                )
+                return
+            if (
+                self.max_sessions is not None
+                and self._active_sessions >= self.max_sessions
+            ):
+                self.counters.rejected_sessions += 1
+                await self._write(
+                    writer,
+                    {
+                        "type": "error",
+                        "code": "admission_rejected",
+                        "message": (
+                            f"fleet at admission limit "
+                            f"({self._active_sessions}/{self.max_sessions} sessions)"
+                        ),
+                    },
+                )
+                return
+            if not message.get("session_id"):
+                # Placement needs a stable id; assign one before hashing.
+                self._session_counter += 1
+                message["session_id"] = f"router-{self._session_counter}"
+            session_id = str(message["session_id"])
+            shard, shard_reader, shard_writer = await self._connect_shard(session_id)
+            if shard is None:
+                await self._write(
+                    writer,
+                    {"type": "error", "code": "no_healthy_shards",
+                     "message": "no healthy shard can accept this session"},
+                )
+                return
+            self._active_sessions += 1
+            shard.active_sessions += 1
+            admitted = True
+            reply = await self._forward(shard, shard_writer, shard_reader,
+                                        writer, message)
+            if reply is None or reply.get("type") != "welcome":
+                return
+            self.counters.routed_sessions += 1
+            # Steady state: strict request/response relay.
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                try:
+                    message = decode_frame(line)
+                except ProtocolError as error:
+                    await self._write(writer, {"type": "error", "message": str(error)})
+                    continue
+                reply = await self._forward(shard, shard_writer, shard_reader,
+                                            writer, message)
+                if reply is None or message["type"] == "bye":
+                    return
+        except (ConnectionError, OSError):
+            return
+        finally:
+            if admitted:
+                self._active_sessions -= 1
+                assert shard is not None
+                shard.active_sessions -= 1
+            for peer in (shard_writer, writer):
+                if peer is not None:
+                    try:
+                        peer.close()
+                    except Exception:  # noqa: BLE001 - best-effort teardown
+                        pass
+
+    async def _forward(
+        self, shard, shard_writer, shard_reader, client_writer, message: dict
+    ) -> Optional[dict]:
+        """Relay one frame shard-ward and its reply client-ward.
+
+        Returns the decoded reply, or ``None`` after reporting a shard
+        failure to the client (the caller must end the session).
+        """
+        try:
+            shard_writer.write(encode_message(message))
+            await shard_writer.drain()
+            line = await shard_reader.readline()
+            if not line:
+                raise ConnectionResetError("shard closed the connection")
+            reply = decode_frame(line)
+        except (ConnectionError, OSError, ProtocolError):
+            self._mark_failed(shard)
+            try:
+                await self._write(
+                    client_writer,
+                    {
+                        "type": "error",
+                        "code": "shard_failed",
+                        "message": (
+                            f"shard {shard.index} ({shard.host}:{shard.port}) "
+                            f"failed mid-session; please reconnect"
+                        ),
+                    },
+                )
+            except (ConnectionError, OSError):
+                pass
+            return None
+        self.counters.forwarded_frames += 1
+        client_writer.write(encode_message(reply))
+        await client_writer.drain()
+        return reply
+
+    # ------------------------------------------------------------ control plane
+    async def _probe_shard(self, shard: ShardState) -> bool:
+        """One liveness probe: connect, ask for stats, expect a stats reply."""
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(shard.host, shard.port),
+                timeout=self.probe_timeout,
+            )
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            return False
+        try:
+            writer.write(encode_message({"type": "stats"}))
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), timeout=self.probe_timeout)
+            if not line:
+                return False
+            return decode_frame(line).get("type") == "stats"
+        except (ConnectionError, OSError, ProtocolError, asyncio.TimeoutError):
+            return False
+        finally:
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001 - best-effort teardown
+                pass
+
+    async def _shard_stats(self, shard: ShardState) -> dict:
+        entry = shard.describe()
+        if not shard.healthy:
+            entry["ok"] = False
+            return entry
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(shard.host, shard.port),
+                timeout=self.probe_timeout,
+            )
+            try:
+                writer.write(encode_message({"type": "stats"}))
+                await writer.drain()
+                line = await asyncio.wait_for(
+                    reader.readline(), timeout=self.probe_timeout
+                )
+                reply = decode_frame(line) if line else {}
+            finally:
+                try:
+                    writer.close()
+                except Exception:  # noqa: BLE001
+                    pass
+        except (ConnectionError, OSError, ProtocolError, asyncio.TimeoutError):
+            self._mark_failed(shard)
+            entry.update(shard.describe())
+            entry["ok"] = False
+            return entry
+        entry["ok"] = reply.get("type") == "stats"
+        entry["broker"] = reply.get("broker")
+        entry["batch_window"] = reply.get("batch_window")
+        entry["num_sessions"] = reply.get("num_sessions")
+        return entry
+
+    def _health_payload(self, probes) -> dict:
+        shards = []
+        for shard, alive in zip(self.shards, probes):
+            # A probe is evidence either way: revive shards that came back
+            # only via explicit reconfigure (operators decide), but always
+            # demote dead ones.
+            if not alive:
+                shard.healthy = False
+            shards.append({**shard.describe(), "probe_ok": bool(alive)})
+        return {
+            "type": "health",
+            "shards": shards,
+            "num_healthy": sum(1 for shard in self.shards if shard.healthy),
+            "active_sessions": self._active_sessions,
+            "max_sessions": self.max_sessions,
+        }
+
+    def _apply_reconfigure(self, message: dict) -> dict:
+        """Live reconfiguration: admission limit and per-shard placement state."""
+        changed = {}
+        if "max_sessions" in message:
+            limit = message["max_sessions"]
+            self.max_sessions = None if limit is None else int(limit)
+            changed["max_sessions"] = self.max_sessions
+        if "shard" in message:
+            index = int(message["shard"])
+            if not 0 <= index < len(self.shards):
+                raise ProtocolError(f"unknown shard index {index}")
+            shard = self.shards[index]
+            if "draining" in message:
+                shard.draining = bool(message["draining"])
+                changed["draining"] = shard.draining
+            if "healthy" in message:
+                shard.healthy = bool(message["healthy"])
+                changed["healthy"] = shard.healthy
+            changed["shard"] = index
+        if not changed:
+            raise ProtocolError(
+                "reconfigure changes nothing: pass max_sessions and/or "
+                "shard with draining/healthy"
+            )
+        self.counters.reconfigurations += 1
+        return {"type": "reconfigured", "changed": changed}
+
+    async def _handle_control(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                try:
+                    message = decode_frame(line)
+                except ProtocolError as error:
+                    await self._write(writer, {"type": "error", "message": str(error)})
+                    continue
+                kind = message["type"]
+                try:
+                    if kind == "health":
+                        probes = await asyncio.gather(
+                            *(self._probe_shard(shard) for shard in self.shards)
+                        )
+                        await self._write(writer, self._health_payload(probes))
+                    elif kind == "stats":
+                        shard_stats = await asyncio.gather(
+                            *(self._shard_stats(shard) for shard in self.shards)
+                        )
+                        await self._write(
+                            writer,
+                            {
+                                "type": "stats",
+                                "router": {
+                                    **self.counters.describe(),
+                                    "active_sessions": self._active_sessions,
+                                    "max_sessions": self.max_sessions,
+                                },
+                                "shards": list(shard_stats),
+                            },
+                        )
+                    elif kind == "reconfigure":
+                        await self._write(writer, self._apply_reconfigure(message))
+                    elif kind == "bye":
+                        await self._write(writer, {"type": "goodbye"})
+                        return
+                    else:
+                        await self._write(
+                            writer,
+                            {"type": "error",
+                             "message": f"unknown control request {kind!r}"},
+                        )
+                except ProtocolError as error:
+                    await self._write(writer, {"type": "error", "message": str(error)})
+                except (KeyError, TypeError, ValueError) as error:
+                    await self._write(
+                        writer,
+                        {"type": "error",
+                         "message": f"malformed {kind!r} payload: {error!r}"},
+                    )
+        except (ConnectionError, OSError):
+            return
+        finally:
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001 - best-effort teardown
+                pass

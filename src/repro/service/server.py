@@ -1,22 +1,24 @@
 """The policy server: a long-lived TCP service hosting one Decima agent.
 
-Threading model (one process, standard library only):
+Two transports share one :class:`ServerCore` (sessions, broker, adaptive
+batch window, protocol handlers):
 
-* one **accept** thread takes new connections;
-* one **connection** thread per client reads frames, reconciles ``decide``
-  snapshots into the connection's session, enqueues the request, *waits for
-  the broker's answer* and writes the reply — strictly sequential per
-  connection, so a session's shadow state is never touched concurrently;
-* one **dispatch** thread drains the shared request queue, coalesces whatever
-  is pending (across sessions, up to ``max_batch_size``, waiting at most
-  ``batch_window_ms`` for stragglers) and answers the whole batch through the
-  :class:`~repro.service.batcher.RequestBroker` — one batched GNN forward for
-  all of them, or the per-session fallback heuristics when the SLO breaker is
-  open.
+* :class:`PolicyServer` — the original threaded transport: one **accept**
+  thread, one **connection** thread per client, one **dispatch** thread
+  coalescing pending requests into broker batches;
+* :class:`~repro.service.aioserver.AsyncPolicyServer` — the asyncio
+  transport: a single event loop multiplexes every connection plus the
+  dispatch coroutine, so a shard process serves hundreds of sessions on two
+  threads (the loop and the caller) instead of one thread per connection.
 
-Because every session's decisions depend only on its own rng stream, its own
-graph cache and its own observations, the batch composition the dispatch
-thread happens to form has no effect on any session's action sequence.
+Both answer ``decide`` requests strictly sequentially per connection, so a
+session's shadow state is never touched concurrently; and because every
+session's decisions depend only on its own rng stream, graph cache and
+observations, the batch composition the dispatcher happens to form has no
+effect on any session's action sequence.  The coalescing window adapts to
+offered load (:class:`~repro.service.batcher.AdaptiveBatchWindow`): near
+zero with a lone session, a few milliseconds when dozens of sessions are
+streaming requests.
 """
 
 from __future__ import annotations
@@ -30,11 +32,17 @@ from typing import Optional
 from ..core.agent import DecimaAgent
 from ..schedulers import make_scheduler, scheduler_names
 from ..simulator.environment import SimulatorConfig
-from .batcher import CircuitBreaker, DecisionRequest, DecisionResult, RequestBroker
+from .batcher import (
+    AdaptiveBatchWindow,
+    CircuitBreaker,
+    DecisionRequest,
+    DecisionResult,
+    RequestBroker,
+)
 from .protocol import ProtocolError, read_message, write_message
 from .session import SessionState
 
-__all__ = ["PolicyServer"]
+__all__ = ["PolicyServer", "ServerCore"]
 
 _QUEUE_SENTINEL = None
 
@@ -51,8 +59,15 @@ class _PendingRequest:
         self.done = threading.Event()
 
 
-class PolicyServer:
-    """Serve scheduling decisions for many concurrent cluster sessions."""
+class ServerCore:
+    """Transport-independent half of a policy server.
+
+    Owns the request broker, the session registry and the protocol-level
+    handlers (open/close sessions, reconcile ``decide`` snapshots, build
+    reply payloads).  Transports add sockets and a dispatch loop on top; the
+    dispatch loop asks :meth:`window_seconds` how long to hold a batch open
+    and reports each dispatched batch back through :meth:`observe_batch`.
+    """
 
     def __init__(
         self,
@@ -65,8 +80,9 @@ class PolicyServer:
         cooldown_decisions: int = 20,
         batched: bool = True,
         greedy: bool = True,
-        max_batch_size: int = 32,
+        max_batch_size: int = 64,
         batch_window_ms: float = 2.0,
+        adaptive_batch_window: bool = True,
     ):
         if fallback not in scheduler_names():
             known = ", ".join(scheduler_names())
@@ -77,6 +93,9 @@ class PolicyServer:
         self.default_fallback = fallback
         self.max_batch_size = int(max_batch_size)
         self.batch_window_s = float(batch_window_ms) / 1000.0
+        self.adaptive_window: Optional[AdaptiveBatchWindow] = None
+        if adaptive_batch_window:
+            self.adaptive_window = AdaptiveBatchWindow(max_ms=float(batch_window_ms))
         breaker = None
         if slo_ms is not None:
             breaker = CircuitBreaker(
@@ -87,6 +106,123 @@ class PolicyServer:
         self.broker = RequestBroker(agent, batched=batched, greedy=greedy, breaker=breaker)
         self.sessions: dict[str, SessionState] = {}
         self._sessions_lock = threading.Lock()
+        self._session_counter = 0
+
+    # ------------------------------------------------------------- batch window
+    def window_seconds(self) -> float:
+        """How long the dispatcher should hold the current batch open."""
+        if self.adaptive_window is not None:
+            return self.adaptive_window.seconds()
+        return self.batch_window_s
+
+    def observe_batch(self, batch_size: int) -> None:
+        if self.adaptive_window is not None:
+            self.adaptive_window.observe(batch_size)
+
+    def num_live_sessions(self) -> int:
+        with self._sessions_lock:
+            return len(self.sessions)
+
+    # ----------------------------------------------------------------- handlers
+    def open_session(self, message: dict, existing: Optional[SessionState]):
+        """Handle a ``hello``: register a session, return it + the welcome."""
+        if existing is not None:
+            # Allowing a re-hello would orphan the previous session in
+            # self.sessions (its id blocked until restart); refuse instead.
+            raise ProtocolError(
+                f"session {existing.session_id!r} is already open on this connection"
+            )
+        with self._sessions_lock:
+            self._session_counter += 1
+            default_id = f"session-{self._session_counter}"
+        session_id = str(message.get("session_id") or default_id)
+        num_executors = int(message.get("num_executors", self.agent.total_executors))
+        fallback_name = str(message.get("fallback", self.default_fallback))
+        if fallback_name not in scheduler_names():
+            raise ProtocolError(f"unknown fallback scheduler {fallback_name!r}")
+        fallback = make_scheduler(
+            fallback_name, SimulatorConfig(num_executors=num_executors)
+        )
+        session = SessionState(
+            session_id=session_id,
+            num_executors=num_executors,
+            seed=int(message.get("seed", 0)),
+            fallback=fallback,
+        )
+        with self._sessions_lock:
+            if session_id in self.sessions:
+                raise ProtocolError(f"session id {session_id!r} is already connected")
+            self.sessions[session_id] = session
+        welcome = {
+            "type": "welcome",
+            "session_id": session_id,
+            "scheduler": self.agent.name,
+            "total_executors": self.agent.total_executors,
+            "fallback": fallback_name,
+            "batched": self.broker.batched,
+            "greedy": self.broker.greedy,
+        }
+        return session, welcome
+
+    def deregister_session(self, session: Optional[SessionState]) -> None:
+        if session is None:
+            return
+        with self._sessions_lock:
+            self.sessions.pop(session.session_id, None)
+        # Drop the broker's merged-structure cache: it holds strong
+        # references to the dead session's structures (and through
+        # them its shadow DAGs) until the next multi-session batch.
+        self.broker.merge_cache.reset()
+
+    def build_request(
+        self, session: Optional[SessionState], message: dict
+    ) -> DecisionRequest:
+        if session is None:
+            raise ProtocolError("decide before hello — open a session first")
+        observation = session.observation_from_snapshot(message["observation"])
+        return DecisionRequest(
+            session=session,
+            observation=observation,
+            request_id=message.get("request_id"),
+        )
+
+    @staticmethod
+    def action_reply(
+        session: SessionState, message: dict, result: DecisionResult
+    ) -> dict:
+        reply = {
+            "type": "action",
+            "request_id": message.get("request_id"),
+            "source": result.source,
+            "latency_ms": result.latency_seconds * 1000.0,
+        }
+        reply.update(session.encode_action(result.action))
+        return reply
+
+    def stats_payload(self, session: Optional[SessionState]) -> dict:
+        payload = {
+            "type": "stats",
+            "broker": self.broker.stats(),
+            "num_sessions": self.num_live_sessions(),
+        }
+        if self.adaptive_window is not None:
+            payload["batch_window"] = self.adaptive_window.stats()
+        if session is not None:
+            payload["session"] = session.stats()
+        return payload
+
+
+class PolicyServer(ServerCore):
+    """Serve scheduling decisions for many concurrent cluster sessions.
+
+    The threaded transport: one accept thread, one connection thread per
+    client, one dispatch thread.  (For hundreds of sessions per process use
+    :class:`~repro.service.aioserver.AsyncPolicyServer`, which multiplexes
+    the same :class:`ServerCore` on an event loop.)
+    """
+
+    def __init__(self, agent: DecimaAgent, **kwargs):
+        super().__init__(agent, **kwargs)
         self._queue: "queue.Queue" = queue.Queue()
         self._requeue: list = []  # same-session requests deferred to the next batch
         self._listener: Optional[socket.socket] = None
@@ -94,7 +230,6 @@ class PolicyServer:
         self._connections: set = set()
         self._connections_lock = threading.Lock()
         self._running = False
-        self._session_counter = 0
 
     # -------------------------------------------------------------- lifecycle
     @property
@@ -202,7 +337,7 @@ class PolicyServer:
                     elif kind == "decide":
                         self._handle_decide(stream, session, message)
                     elif kind == "stats":
-                        self._handle_stats(stream, session)
+                        write_message(stream, self.stats_payload(session))
                     elif kind == "bye":
                         write_message(stream, {"type": "goodbye"})
                         return
@@ -232,79 +367,26 @@ class PolicyServer:
                 pass
             with self._connections_lock:
                 self._connections.discard(connection)
-            if session is not None:
-                with self._sessions_lock:
-                    self.sessions.pop(session.session_id, None)
-                # Drop the broker's merged-structure cache: it holds strong
-                # references to the dead session's structures (and through
-                # them its shadow DAGs) until the next multi-session batch.
-                self.broker.merge_cache.reset()
+            self.deregister_session(session)
 
     def _handle_hello(
         self, stream, message: dict, existing: Optional[SessionState]
     ) -> SessionState:
-        if existing is not None:
-            # Allowing a re-hello would orphan the previous session in
-            # self.sessions (its id blocked until restart); refuse instead.
-            raise ProtocolError(
-                f"session {existing.session_id!r} is already open on this connection"
-            )
-        with self._sessions_lock:
-            self._session_counter += 1
-            default_id = f"session-{self._session_counter}"
-        session_id = str(message.get("session_id") or default_id)
-        num_executors = int(message.get("num_executors", self.agent.total_executors))
-        fallback_name = str(message.get("fallback", self.default_fallback))
-        if fallback_name not in scheduler_names():
-            raise ProtocolError(f"unknown fallback scheduler {fallback_name!r}")
-        fallback = make_scheduler(
-            fallback_name, SimulatorConfig(num_executors=num_executors)
-        )
-        session = SessionState(
-            session_id=session_id,
-            num_executors=num_executors,
-            seed=int(message.get("seed", 0)),
-            fallback=fallback,
-        )
-        with self._sessions_lock:
-            if session_id in self.sessions:
-                raise ProtocolError(f"session id {session_id!r} is already connected")
-            self.sessions[session_id] = session
+        session, welcome = self.open_session(message, existing)
         try:
-            write_message(
-                stream,
-                {
-                    "type": "welcome",
-                    "session_id": session_id,
-                    "scheduler": self.agent.name,
-                    "total_executors": self.agent.total_executors,
-                    "fallback": fallback_name,
-                    "batched": self.broker.batched,
-                    "greedy": self.broker.greedy,
-                },
-            )
+            write_message(stream, welcome)
         except (BrokenPipeError, OSError):
             # The client vanished before seeing the welcome: deregister, or
             # the id would stay blocked (the connection loop's cleanup only
             # knows about sessions it returned).
-            with self._sessions_lock:
-                self.sessions.pop(session_id, None)
+            self.deregister_session(session)
             raise
         return session
 
     def _handle_decide(
         self, stream, session: Optional[SessionState], message: dict
     ) -> None:
-        if session is None:
-            raise ProtocolError("decide before hello — open a session first")
-        observation = session.observation_from_snapshot(message["observation"])
-        pending = _PendingRequest(
-            DecisionRequest(
-                session=session,
-                observation=observation,
-                request_id=message.get("request_id"),
-            )
-        )
+        pending = _PendingRequest(self.build_request(session, message))
         self._queue.put(pending)
         # Bounded wait: if the request raced stop() (enqueued after the
         # dispatch loop drained its sentinel and exited), nothing will ever
@@ -318,42 +400,23 @@ class PolicyServer:
             return
         result = pending.result
         assert result is not None
-        reply = {
-            "type": "action",
-            "request_id": message.get("request_id"),
-            "source": result.source,
-            "latency_ms": result.latency_seconds * 1000.0,
-        }
-        reply.update(session.encode_action(result.action))
-        write_message(stream, reply)
-
-    def _handle_stats(self, stream, session: Optional[SessionState]) -> None:
-        payload = {
-            "type": "stats",
-            "broker": self.broker.stats(),
-            "num_sessions": len(self.sessions),
-        }
-        if session is not None:
-            payload["session"] = session.stats()
-        write_message(stream, payload)
+        write_message(stream, self.action_reply(session, message, result))
 
     # --------------------------------------------------------------- dispatch
     def _drain_batch(self, first: "_PendingRequest") -> list:
         """Coalesce pending requests: up to ``max_batch_size`` distinct sessions.
 
-        After the first request lands we wait at most ``batch_window_s`` for
-        more sessions to show up — long enough for concurrently blocked
+        After the first request lands we wait at most :meth:`window_seconds`
+        for more sessions to show up — long enough for concurrently blocked
         clients to coalesce, far below any reasonable decision SLO.
         """
         batch = [first]
         sessions = {id(first.request.session)}
-        deadline = time.perf_counter() + self.batch_window_s
-        with self._sessions_lock:
-            num_live_sessions = len(self.sessions)
+        deadline = time.perf_counter() + self.window_seconds()
         # Once every live session has a request in the batch, no further
         # request can arrive (the protocol is synchronous per session) —
         # don't make a lone client sit out the full window.
-        max_size = min(self.max_batch_size, max(num_live_sessions, 1))
+        max_size = min(self.max_batch_size, max(self.num_live_sessions(), 1))
         while len(batch) < max_size:
             remaining = deadline - time.perf_counter()
             try:
@@ -395,6 +458,7 @@ class PolicyServer:
                     pending.done.set()
                 return
             batch = self._drain_batch(item)
+            self.observe_batch(len(batch))
             try:
                 results = self.broker.decide([pending.request for pending in batch])
             except Exception as error:  # noqa: BLE001 - must answer every request

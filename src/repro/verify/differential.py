@@ -8,6 +8,7 @@ each of which must be *behaviourally identical* at fixed seeds:
   feature building;
 * in-process rollout collection vs the parallel worker pool;
 * cross-session batched service dispatch vs per-session serial dispatch;
+* router→shard sharded fleet dispatch vs single-server serial dispatch;
 * and, trivially, any registered scheduler against itself across runs
   (determinism).
 
@@ -263,28 +264,40 @@ def _rollout_parallel(task: DifferentialTask) -> EpisodeTrace:
 
 
 # ---------------------------------------------------------- service variants
-def _service_stream(task: DifferentialTask, batched: bool) -> EpisodeTrace:
-    """Drive ``num_sessions`` concurrent clusters through a request broker.
+def _service_stream(
+    task: DifferentialTask, batched: bool, num_shards: int = 1
+) -> EpisodeTrace:
+    """Drive ``num_sessions`` concurrent clusters through request broker(s).
 
     Observations travel through the real wire encoding and shadow-DAG
     reconciliation; decisions flow back through the broker's decision tap.
-    The produced stream (session, job, node, limit) must be identical for
-    ``batched=True`` and ``batched=False``.
+    With ``num_shards > 1`` this models the sharded fleet's dispatch path:
+    sessions are partitioned across shards by the router's
+    :func:`~repro.service.router.shard_for_session` hash and each shard
+    answers its own sub-batch with its own (identically parameterised) agent
+    and broker.  The produced stream (session, job, node, limit) must be
+    identical for ``batched=True``, ``batched=False`` and any shard count,
+    because a session's decisions depend only on its own rng stream, graph
+    cache and observations.
     """
     from ..service import (
         DecisionRequest,
         RequestBroker,
         SessionState,
         encode_observation,
+        shard_for_session,
     )
     from ..simulator.environment import Action
 
     spec = task.resolve_spec()
     simulator_config = spec.build_config(seed=task.seed)
-    agent = _build_decima(simulator_config, sparse=True, cache=True)
+    if num_shards > 1:
+        label = f"service:sharded[{num_shards}]"
+    else:
+        label = "service:batched" if batched else "service:serial"
     header = TraceHeader(
         scenario=spec.name,
-        scheduler="service:batched" if batched else "service:serial",
+        scheduler=label,
         seed=task.seed,
         num_jobs=task.num_jobs,
         num_executors=task.num_executors,
@@ -292,38 +305,53 @@ def _service_stream(task: DifferentialTask, batched: bool) -> EpisodeTrace:
     )
     trace = EpisodeTrace(header=header)
 
+    # Decisions are buffered per round (keyed by session id) and flushed in
+    # session order, so the recorded stream is invariant to which shard's
+    # broker happened to answer first.
+    round_records: Dict[str, dict] = {}
+
     def tap(request, result) -> None:
         action = result.action
         job = action.node.job if action is not None and action.node is not None else None
-        trace.decisions.append(
-            DecisionRecord(
-                step=len(trace.decisions),
-                wall_time=float(request.observation.wall_time),
-                obs_fingerprint=observation_fingerprint(request.observation),
-                job=job.name if job is not None else None,
-                node=action.node.node_id if action is not None and action.node else None,
-                limit=int(action.parallelism_limit) if action is not None else None,
-                session=request.session.session_id,
-            )
+        round_records[request.session.session_id] = dict(
+            wall_time=float(request.observation.wall_time),
+            obs_fingerprint=observation_fingerprint(request.observation),
+            job=job.name if job is not None else None,
+            node=action.node.node_id if action is not None and action.node else None,
+            limit=int(action.parallelism_limit) if action is not None else None,
+            session=request.session.session_id,
         )
 
-    broker = RequestBroker(agent, batched=batched, greedy=False, decision_tap=tap)
-    environments, observations, sessions = [], [], []
+    # Every shard hosts its own agent; identical construction gives identical
+    # parameters (DecimaConfig(seed=0) init is deterministic), exactly as the
+    # fleet rebuilds one agent per shard process from the same spec + state.
+    brokers = [
+        RequestBroker(
+            _build_decima(simulator_config, sparse=True, cache=True),
+            batched=batched,
+            greedy=False,
+            decision_tap=tap,
+        )
+        for _ in range(num_shards)
+    ]
+    environments, observations, sessions, shard_of = [], [], [], []
     for index in range(task.num_sessions):
         jobs = task.build_jobs(spec, stream=index + 1)
         environment = SchedulingEnvironment(spec.build_config(seed=task.seed + index))
         environments.append(environment)
         observations.append(environment.reset(jobs, seed=task.seed + index))
+        session_id = f"s{index}"
         sessions.append(
             SessionState(
-                f"s{index}",
+                session_id,
                 num_executors=simulator_config.num_executors,
                 seed=1_000 + task.seed * 31 + index,
             )
         )
+        shard_of.append(shard_for_session(session_id, num_shards))
     # ``max_decisions`` caps *recorded decisions* (matching the header field's
     # meaning everywhere else); the round bound is only a safety valve against
-    # sessions that never finish.  Both variants truncate identically because
+    # sessions that never finish.  All variants truncate identically because
     # their per-round decision streams are identical.
     max_rounds = 60
     for _ in range(max_rounds):
@@ -339,18 +367,29 @@ def _service_stream(task: DifferentialTask, batched: bool) -> EpisodeTrace:
         ]
         if not pending:
             break
-        requests = [
-            DecisionRequest(
+        requests = {
+            index: DecisionRequest(
                 session=sessions[index],
                 observation=sessions[index].observation_from_snapshot(
                     encode_observation(observation)
                 ),
             )
             for index, observation in pending
-        ]
-        results = broker.decide(requests)
-        for (index, observation), request, result in zip(pending, requests, results):
-            encoded = request.session.encode_action(result.action)
+        }
+        round_records.clear()
+        results: Dict[int, object] = {}
+        for shard in range(num_shards):
+            shard_indices = [i for i, _ in pending if shard_of[i] == shard]
+            if not shard_indices:
+                continue
+            answers = brokers[shard].decide([requests[i] for i in shard_indices])
+            results.update(zip(shard_indices, answers))
+        for index, observation in pending:
+            fields = round_records[sessions[index].session_id]
+            trace.decisions.append(
+                DecisionRecord(step=len(trace.decisions), **fields)
+            )
+            encoded = requests[index].session.encode_action(results[index].action)
             if encoded["noop"]:
                 action = None
             else:
@@ -381,6 +420,7 @@ register_variant("rollout:serial", _rollout_serial)
 register_variant("rollout:parallel", _rollout_parallel)
 register_variant("service:batched", lambda task: _service_stream(task, True))
 register_variant("service:serial", lambda task: _service_stream(task, False))
+register_variant("service:sharded", lambda task: _service_stream(task, True, num_shards=2))
 
 # The named fast/oracle pairs the repo guarantees, each with the decision
 # fields that define "the same decision" for that pair (worker outcomes carry
@@ -404,6 +444,10 @@ IMPLEMENTATION_PAIRS: Dict[str, dict] = {
     },
     "batched_vs_serial_service": {
         "variants": ("service:batched", "service:serial"),
+        "fields": ("session", "job", "node", "limit", "wall_time", "obs_fingerprint"),
+    },
+    "sharded_vs_serial_service": {
+        "variants": ("service:sharded", "service:serial"),
         "fields": ("session", "job", "node", "limit", "wall_time", "obs_fingerprint"),
     },
 }

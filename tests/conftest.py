@@ -3,8 +3,12 @@
 The fixed-seed factories themselves live in ``tests/_helpers.py`` (module-
 level test helpers import them directly with ``from _helpers import ...``);
 this conftest exposes them as factory fixtures for tests that prefer
-injection.
+injection, plus the serving-layer lifecycle fixtures (``free_port``,
+``server_factory``) that replace ad-hoc port binding and guarantee servers
+are stopped even when a test fails mid-body.
 """
+
+import socket
 
 import pytest
 
@@ -24,3 +28,46 @@ def decima_agent_factory():
 @pytest.fixture
 def training_setup_factory():
     return make_training_setup
+
+
+# ------------------------------------------------------- serving-layer fixtures
+@pytest.fixture
+def free_port():
+    """A loopback TCP port the OS just handed out.
+
+    For tests that must name an explicit port up front (everything else
+    should bind ``port=0`` and read the server's ``address`` back, which can
+    never race).
+    """
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+@pytest.fixture(params=["threaded", "asyncio"])
+def server_factory(request):
+    """Start a policy server on either transport; always stopped at teardown.
+
+    Parametrised over both transports so every socket-level test exercises
+    the threaded :class:`PolicyServer` *and* the asyncio
+    :class:`AsyncPolicyServer` — they share one :class:`ServerCore`, and this
+    fixture is what pins their wire behaviour to each other.  The factory
+    binds ``port=0`` (the OS picks a free port; read ``server.address``) and
+    registers the server for teardown even if the test body raises.
+    """
+    from repro.service import AsyncPolicyServer, PolicyServer
+
+    server_class = PolicyServer if request.param == "threaded" else AsyncPolicyServer
+    started = []
+
+    def factory(agent, **kwargs):
+        server = server_class(agent, **kwargs)
+        server.start()
+        started.append(server)
+        return server
+
+    factory.transport = request.param
+    factory.server_class = server_class
+    yield factory
+    for server in reversed(started):
+        server.stop()

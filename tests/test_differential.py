@@ -8,6 +8,7 @@ harness-independent canary per pair stays behind in
 
 import pytest
 
+from repro.experiments.scenarios import scenario_names
 from repro.schedulers import scheduler_names
 from repro.verify import (
     IMPLEMENTATION_PAIRS,
@@ -85,6 +86,25 @@ class TestImplementationPairs:
         assert report.ok, report.describe()
         sessions = {d.session for d in report.traces[0].decisions}
         assert len(sessions) == 5
+
+    @pytest.mark.parametrize("scenario", sorted(scenario_names()))
+    def test_sharded_dispatch_matches_serial_on_every_scenario(self, scenario):
+        """Acceptance (issue 6): router→shard dispatch is bit-identical to
+        single-server serial dispatch on all registry scenarios at fixed
+        seeds — sharding only partitions *which broker* answers a session,
+        never the answers themselves."""
+        task = DifferentialTask(scenario=scenario, seed=11, num_sessions=5, **SMALL)
+        report = run_pair("sharded_vs_serial_service", task)
+        assert report.ok, report.describe()
+        assert min(report.num_decisions) > 5
+
+    def test_sharded_variant_actually_spreads_sessions(self):
+        """With 5 sessions over 2 shards, both shards must answer traffic
+        (otherwise the sharded variant degenerates into the batched one)."""
+        from repro.service import shard_for_session
+
+        shards = {shard_for_session(f"s{i}", 2) for i in range(5)}
+        assert shards == {0, 1}
 
     def test_rollout_pair_reward_streams_match(self):
         report = run_pair(

@@ -610,33 +610,50 @@ class TestSLOFallback:
 
 # ------------------------------------------------------------ socket transport
 class TestPolicyServerEndToEnd:
-    def test_two_concurrent_sessions_full_episodes(self):
+    """Socket-level behaviour, parametrised over BOTH transports.
+
+    ``server_factory`` (tests/conftest.py) runs every test here against the
+    threaded :class:`PolicyServer` and the asyncio
+    :class:`AsyncPolicyServer`; the two share one :class:`ServerCore`, and
+    these tests pin their wire behaviour to each other.
+    """
+
+    def test_two_concurrent_sessions_full_episodes(self, server_factory):
         agent = DecimaAgent(total_executors=8, config=DecimaConfig(seed=0))
-        with PolicyServer(agent) as server:
-            host, port = server.address
-            summaries = [None, None]
+        server = server_factory(agent)
+        host, port = server.address
+        summaries = [None, None]
 
-            def run(index):
-                rng = np.random.default_rng(index)
-                jobs = batched_arrivals(sample_tpch_jobs(2, rng, sizes=(2.0, 5.0)))
-                env = SchedulingEnvironment(
-                    SimulatorConfig(num_executors=8, seed=index)
-                )
-                with PolicyClient(host, port) as client:
-                    client.hello(session_id=f"e2e-{index}", num_executors=8,
-                                 seed=index)
-                    summaries[index] = drive_episode(client, env, jobs, seed=index)
+        def run(index):
+            rng = np.random.default_rng(index)
+            jobs = batched_arrivals(sample_tpch_jobs(2, rng, sizes=(2.0, 5.0)))
+            env = SchedulingEnvironment(
+                SimulatorConfig(num_executors=8, seed=index)
+            )
+            with PolicyClient(host, port) as client:
+                client.hello(session_id=f"e2e-{index}", num_executors=8,
+                             seed=index)
+                summaries[index] = drive_episode(client, env, jobs, seed=index)
 
-            threads = [threading.Thread(target=run, args=(i,)) for i in range(2)]
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join()
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
         for summary in summaries:
             assert summary is not None
             assert summary["decisions"] > 0
             assert summary["unfinished_jobs"] == 0
             assert set(summary["sources"]) == {"policy"}
+
+    def test_explicit_port_binding(self, server_factory, free_port):
+        """Servers honour an explicit port (the ``free_port`` fixture replaces
+        the old racy bind-then-hope pattern for tests that must name one)."""
+        agent = DecimaAgent(total_executors=6, config=DecimaConfig(seed=0))
+        server = server_factory(agent, port=free_port)
+        assert server.address[1] == free_port
+        with PolicyClient(*server.address) as client:
+            assert client.hello(num_executors=6)["type"] == "welcome"
 
     def test_served_actions_match_in_process_agent_after_checkpoint(self, tmp_path):
         """Acceptance satellite: train 2 tiny iterations, save, serve, and the
@@ -700,63 +717,63 @@ class TestPolicyServerEndToEnd:
                     )
         assert served == reference
 
-    def test_run_load_reports_throughput(self):
+    def test_run_load_reports_throughput(self, server_factory):
         agent = DecimaAgent(total_executors=6, config=DecimaConfig(seed=0))
-        with PolicyServer(agent) as server:
-            host, port = server.address
-            summary = run_load(host, port, num_sessions=2, num_jobs=2,
-                               num_executors=6, min_total_decisions=30)
+        server = server_factory(agent)
+        host, port = server.address
+        summary = run_load(host, port, num_sessions=2, num_jobs=2,
+                           num_executors=6, min_total_decisions=30)
         assert summary["decisions"] >= 30
         assert summary["latency_ms"]["count"] == summary["decisions"]
         assert summary["sources"].get("policy", 0) == summary["decisions"]
         assert summary["decisions_per_sec"] > 0
 
-    def test_error_replies_keep_connection_usable(self):
+    def test_error_replies_keep_connection_usable(self, server_factory):
         agent = DecimaAgent(total_executors=6, config=DecimaConfig(seed=0))
-        with PolicyServer(agent) as server:
-            host, port = server.address
-            with PolicyClient(host, port) as client:
-                env, observation = make_env(num_jobs=1, seed=0, num_executors=6)
-                with pytest.raises(ProtocolError, match="before hello"):
-                    client.decide(observation)
-                client.hello(num_executors=6)
-                reply = client.decide(observation)
-                assert reply["type"] == "action"
+        server = server_factory(agent)
+        host, port = server.address
+        with PolicyClient(host, port) as client:
+            env, observation = make_env(num_jobs=1, seed=0, num_executors=6)
+            with pytest.raises(ProtocolError, match="before hello"):
+                client.decide(observation)
+            client.hello(num_executors=6)
+            reply = client.decide(observation)
+            assert reply["type"] == "action"
 
-    def test_malformed_decide_payload_keeps_connection_usable(self):
+    def test_malformed_decide_payload_keeps_connection_usable(self, server_factory):
         agent = DecimaAgent(total_executors=6, config=DecimaConfig(seed=0))
-        with PolicyServer(agent) as server:
-            host, port = server.address
-            with PolicyClient(host, port) as client:
-                client.hello(num_executors=6)
-                with pytest.raises(ProtocolError, match="malformed"):
-                    client.request({"type": "decide"})  # no observation at all
-                with pytest.raises(ProtocolError, match="malformed"):
-                    client.request(
-                        {"type": "decide", "observation": {"jobs": "nonsense"}}
-                    )
-                env, observation = make_env(num_jobs=1, seed=0, num_executors=6)
-                assert client.decide(observation)["type"] == "action"
+        server = server_factory(agent)
+        host, port = server.address
+        with PolicyClient(host, port) as client:
+            client.hello(num_executors=6)
+            with pytest.raises(ProtocolError, match="malformed"):
+                client.request({"type": "decide"})  # no observation at all
+            with pytest.raises(ProtocolError, match="malformed"):
+                client.request(
+                    {"type": "decide", "observation": {"jobs": "nonsense"}}
+                )
+            env, observation = make_env(num_jobs=1, seed=0, num_executors=6)
+            assert client.decide(observation)["type"] == "action"
 
-    def test_second_hello_on_connection_rejected_without_leaking(self):
+    def test_second_hello_on_connection_rejected_without_leaking(self, server_factory):
         agent = DecimaAgent(total_executors=6, config=DecimaConfig(seed=0))
-        with PolicyServer(agent) as server:
-            host, port = server.address
-            with PolicyClient(host, port) as client:
-                client.hello(session_id="first", num_executors=6)
-                with pytest.raises(ProtocolError, match="already open"):
-                    client.hello(session_id="second", num_executors=6)
-            # The connection closed: "first" must be reclaimed, and "second"
-            # must never have been registered.
-            for _ in range(50):
-                if not server.sessions:
-                    break
-                import time
-                time.sleep(0.02)
-            assert "first" not in server.sessions
-            assert "second" not in server.sessions
-            with PolicyClient(host, port) as client:
-                client.hello(session_id="first", num_executors=6)
+        server = server_factory(agent)
+        host, port = server.address
+        with PolicyClient(host, port) as client:
+            client.hello(session_id="first", num_executors=6)
+            with pytest.raises(ProtocolError, match="already open"):
+                client.hello(session_id="second", num_executors=6)
+        # The connection closed: "first" must be reclaimed, and "second"
+        # must never have been registered.
+        for _ in range(50):
+            if not server.sessions:
+                break
+            import time
+            time.sleep(0.02)
+        assert "first" not in server.sessions
+        assert "second" not in server.sessions
+        with PolicyClient(host, port) as client:
+            client.hello(session_id="first", num_executors=6)
 
     def test_sampled_act_batch_requires_per_observation_rngs(self):
         agent = DecimaAgent(total_executors=8, config=DecimaConfig(seed=0))
@@ -767,12 +784,12 @@ class TestPolicyServerEndToEnd:
         (action, _), = agent.act_batch([observation], greedy=True)
         assert action is not None
 
-    def test_unknown_fallback_rejected(self):
+    def test_unknown_fallback_rejected(self, server_factory):
         agent = DecimaAgent(total_executors=6, config=DecimaConfig(seed=0))
         with pytest.raises(KeyError, match="unknown fallback"):
-            PolicyServer(agent, fallback="not_a_scheduler")
-        with PolicyServer(agent) as server:
-            host, port = server.address
-            with PolicyClient(host, port) as client:
-                with pytest.raises(ProtocolError, match="unknown fallback"):
-                    client.hello(fallback="not_a_scheduler")
+            server_factory.server_class(agent, fallback="not_a_scheduler")
+        server = server_factory(agent)
+        host, port = server.address
+        with PolicyClient(host, port) as client:
+            with pytest.raises(ProtocolError, match="unknown fallback"):
+                client.hello(fallback="not_a_scheduler")
