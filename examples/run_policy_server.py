@@ -27,7 +27,25 @@ import time
 
 from repro.core import DecimaAgent, DecimaConfig, load_agent, load_latest
 from repro.schedulers import scheduler_names
-from repro.service import AsyncPolicyServer, PolicyServer, ServingFleet
+from repro.service import AsyncPolicyServer, ControlClient, PolicyServer, ServingFleet
+
+
+def format_broker_stats(broker: dict) -> str:
+    """One human-readable hot-path telemetry line from broker SLO stats."""
+    cache = broker.get("graph_cache", {})
+    timing = broker.get("stage_timing", {})
+    stages = timing.get("stages", {})
+    per_stage = " ".join(
+        f"{name} {stages[name]['mean_ms']:.2f}" for name in sorted(stages)
+    )
+    return (
+        f"decisions={broker.get('num_decisions', 0)} "
+        f"(fallback {broker.get('num_fallback_decisions', 0)}) | "
+        f"features: {cache.get('delta_refreshes', 0)} delta / "
+        f"{cache.get('full_refreshes', 0)} full / "
+        f"{cache.get('rebuilds', 0)} rebuilds | "
+        f"stage ms/step: {per_stage or 'n/a'}"
+    )
 
 
 def build_agent(args) -> DecimaAgent:
@@ -71,6 +89,10 @@ def main() -> None:
                         help="fleet admission limit (concurrent sessions)")
     parser.add_argument("--asyncio", action="store_true",
                         help="use the asyncio transport for a single server")
+    parser.add_argument("--stats-interval", type=float, default=30.0,
+                        help="seconds between hot-path telemetry lines "
+                             "(delta/full feature refreshes, per-stage "
+                             "timings); 0 disables")
     args = parser.parse_args()
 
     agent = build_agent(args)
@@ -108,11 +130,30 @@ def main() -> None:
         print(f"Policy server listening on {host}:{port} "
               f"({transport} transport, {mode} inference, {slo})")
     print("Press Ctrl-C to stop.")
+
+    def print_stats() -> None:
+        if args.shards > 1:
+            with ControlClient(*server.control_address) as control:
+                shards = control.stats().get("shards", [])
+            for shard in shards:
+                broker = shard.get("broker")
+                if broker:
+                    print(f"[shard {shard.get('index', '?')}] "
+                          f"{format_broker_stats(broker)}")
+        else:
+            print(f"[stats] {format_broker_stats(server.broker.stats())}")
+
     try:
+        next_stats = time.monotonic() + args.stats_interval
         while True:
             time.sleep(1.0)
+            if args.stats_interval > 0 and time.monotonic() >= next_stats:
+                print_stats()
+                next_stats = time.monotonic() + args.stats_interval
     except KeyboardInterrupt:
         print("\nStopping...")
+        if args.stats_interval > 0:
+            print_stats()
     finally:
         server.stop()
 

@@ -8,6 +8,8 @@ log-probability and entropy tensors for REINFORCE training.
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -30,11 +32,22 @@ from .features import (
     MergedStructureCache,
     build_graph_features,
 )
-from .gnn import GNNConfig, GraphNeuralNetwork
+from .gnn import GNNConfig, GraphEmbeddings, GraphNeuralNetwork
 from .nn import Module
 from .policy import PolicyConfig, PolicyNetwork
 
-__all__ = ["DecimaConfig", "StepInfo", "DecimaAgent"]
+__all__ = ["DecimaConfig", "StepInfo", "StageTimings", "DecimaAgent"]
+
+_KERNEL_BACKENDS = ("numpy", "numba", "tensor")
+
+
+def _default_kernel_backend() -> str:
+    """Process-wide default, overridable via ``DECIMA_KERNEL_BACKEND``.
+
+    Lets operators (and CI's kernel-backend drift checks) flip every agent in
+    a process to the compiled kernels without touching call sites.
+    """
+    return os.environ.get("DECIMA_KERNEL_BACKEND", "numpy")
 
 
 @dataclass
@@ -57,6 +70,13 @@ class DecimaConfig:
     # is kept as the numerical-equivalence oracle.
     sparse_message_passing: bool = True
     use_graph_cache: bool = True
+    # Inference kernel backend: "numpy" (default) runs the arena-buffered
+    # data path on the numpy reference kernels; "numba" swaps in the
+    # JIT-compiled kernels when the optional dependency is installed (numpy
+    # fallback otherwise); "tensor" disables the data path entirely and runs
+    # inference through the autograd ops — kept as the equivalence oracle
+    # (differential pair ``inference_kernels_vs_tensor``).
+    kernel_backend: str = field(default_factory=_default_kernel_backend)
     # Number of discrete parallelism-limit levels; ``None`` uses one level per
     # executor (the paper's encoding) capped at 64 levels for very large clusters.
     num_limit_levels: Optional[int] = None
@@ -78,6 +98,53 @@ class StepInfo:
     entropy: Tensor
 
 
+class StageTimings:
+    """Cumulative per-stage wall time of the decision hot path.
+
+    Stages: ``features`` (graph cache + dynamic feature refresh, incl. the
+    batch merge), ``propagation`` (GNN message passing + summaries),
+    ``policy`` (node-scoring head) and ``sampling`` (softmax + draw + the
+    parallelism-limit and executor-class heads).  The broker surfaces a
+    snapshot through its SLO stats so the control plane can show where
+    decision time goes.
+    """
+
+    STAGES = ("features", "propagation", "policy", "sampling")
+
+    __slots__ = ("num_steps", "features_s", "propagation_s", "policy_s", "sampling_s")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.num_steps = 0
+        self.features_s = 0.0
+        self.propagation_s = 0.0
+        self.policy_s = 0.0
+        self.sampling_s = 0.0
+
+    def add(
+        self, features: float, propagation: float, policy: float, sampling: float
+    ) -> None:
+        self.num_steps += 1
+        self.features_s += features
+        self.propagation_s += propagation
+        self.policy_s += policy
+        self.sampling_s += sampling
+
+    def snapshot(self) -> dict:
+        """Totals and per-step means in milliseconds, JSON-ready."""
+        steps = self.num_steps
+        stages = {}
+        for stage in self.STAGES:
+            total_s = getattr(self, f"{stage}_s")
+            stages[stage] = {
+                "total_ms": total_s * 1e3,
+                "mean_ms": (total_s / steps * 1e3) if steps else 0.0,
+            }
+        return {"num_steps": steps, "stages": stages}
+
+
 class DecimaAgent(Module, Scheduler):
     """Learned scheduling policy (the paper's primary contribution)."""
 
@@ -88,6 +155,11 @@ class DecimaAgent(Module, Scheduler):
             raise ValueError("total_executors must be positive")
         self.config = config or DecimaConfig()
         self.total_executors = int(total_executors)
+        if self.config.kernel_backend not in _KERNEL_BACKENDS:
+            raise ValueError(
+                f"unknown kernel backend {self.config.kernel_backend!r}; "
+                f"expected one of {_KERNEL_BACKENDS}"
+            )
         rng = np.random.default_rng(self.config.seed)
         self.gnn = GraphNeuralNetwork(
             GNNConfig(
@@ -97,6 +169,13 @@ class DecimaAgent(Module, Scheduler):
                 max_message_passing_depth=self.config.max_message_passing_depth,
                 two_level_aggregation=self.config.two_level_aggregation,
                 sparse_message_passing=self.config.sparse_message_passing,
+                # "tensor" never reaches the GNN data path (the fast-path gate
+                # below turns it off), so the GNN-level backend stays "numpy".
+                kernel_backend=(
+                    "numpy"
+                    if self.config.kernel_backend == "tensor"
+                    else self.config.kernel_backend
+                ),
             ),
             rng,
         )
@@ -123,6 +202,8 @@ class DecimaAgent(Module, Scheduler):
         # Per-episode incremental cache of the static graph structure; rebuilt
         # only when the set of live jobs changes (arrival/completion).
         self.graph_cache = GraphCache()
+        # Cumulative per-stage wall time of every act()/act_batch() decision.
+        self.stage_timings = StageTimings()
         # Instrumentation seam for the verification harness: when set, every
         # serial decision calls ``logits_tap(node_logits_row_data)`` with this
         # observation's (plain numpy) node-logit rows before selection, so a
@@ -186,21 +267,42 @@ class DecimaAgent(Module, Scheduler):
         return action
 
     def build_features(
-        self, observation: Observation, graph_cache: Optional[GraphCache] = None
+        self,
+        observation: Observation,
+        graph_cache: Optional[GraphCache] = None,
+        reuse_buffers: bool = False,
     ) -> GraphFeatures:
         """Graph inputs for ``observation`` under this agent's feature config.
 
         ``graph_cache`` overrides the agent-owned cache — the policy-serving
         layer passes each session's own cache so concurrently served clusters
-        do not thrash a single structure slot.
+        do not thrash a single structure slot.  ``reuse_buffers`` hands out
+        the cache's persistent arrays (inference only — see
+        :meth:`GraphCache.features`).
         """
         if self.config.use_graph_cache:
             cache = graph_cache if graph_cache is not None else self.graph_cache
             return cache.features(
-                observation, self.config.feature, interarrival_hint=self.interarrival_hint
+                observation,
+                self.config.feature,
+                interarrival_hint=self.interarrival_hint,
+                reuse_buffers=reuse_buffers,
             )
         return build_graph_features(
             observation, self.config.feature, interarrival_hint=self.interarrival_hint
+        )
+
+    def _use_data_path(self, training: bool) -> bool:
+        """True when inference may run the arena-buffered data path.
+
+        Training must stay on the autograd ops (gradients), the dense oracle
+        has no data-path implementation, and ``kernel_backend="tensor"``
+        explicitly requests the autograd ops as the equivalence reference.
+        """
+        return (
+            not training
+            and self.config.sparse_message_passing
+            and self.config.kernel_backend != "tensor"
         )
 
     def act(
@@ -215,16 +317,50 @@ class DecimaAgent(Module, Scheduler):
 
         When ``training`` is true the returned :class:`StepInfo` carries the
         log-probability and entropy tensors connected to the parameter graph.
+        At inference the forward runs on the arena-buffered data path (delta
+        features, workspace-owned scratch, optional compiled kernels) — the
+        numbers, and therefore the decisions, match the autograd path.
         """
         if not observation.schedulable_nodes:
             return None, None
-        graph = self.build_features(observation, graph_cache=graph_cache)
-        embeddings = self.gnn(graph)
-        node_logits = self.policy.node_logits(graph, embeddings)
-        return self.act_on_graph(
+        fast = self._use_data_path(training)
+        t0 = time.perf_counter()
+        graph = self.build_features(
+            observation, graph_cache=graph_cache, reuse_buffers=fast
+        )
+        t1 = time.perf_counter()
+        if fast:
+            node_emb, job_emb, global_emb = self.gnn.forward_data(graph)
+            embeddings = GraphEmbeddings(
+                node_embeddings=Tensor(node_emb),
+                job_embeddings=Tensor(job_emb),
+                global_embedding=Tensor(global_emb),
+            )
+            t2 = time.perf_counter()
+            # A trace recorder's tap digests the full logit vector, so only
+            # the untapped hot path restricts scoring to the schedulable rows.
+            rows = (
+                None
+                if self.logits_tap is not None
+                else np.flatnonzero(graph.schedulable_mask)
+            )
+            node_logits = Tensor(
+                self.policy.node_logits_data(
+                    graph, node_emb, job_emb, global_emb, self.gnn.workspace, rows=rows
+                )
+            )
+        else:
+            embeddings = self.gnn(graph)
+            t2 = time.perf_counter()
+            node_logits = self.policy.node_logits(graph, embeddings)
+        t3 = time.perf_counter()
+        result = self.act_on_graph(
             graph, embeddings, node_logits, observation, rng=rng, greedy=greedy,
             training=training,
         )
+        t4 = time.perf_counter()
+        self.stage_timings.add(t1 - t0, t2 - t1, t3 - t2, t4 - t3)
+        return result
 
     def _select_stage(
         self,
@@ -248,8 +384,10 @@ class DecimaAgent(Module, Scheduler):
         if not node_mask.any():
             return None
         if not training:
-            # Inference: identical numbers via the graph-free numpy softmax.
-            log_probs = masked_log_softmax_data(
+            # Inference: identical numbers via the graph-free softmax kernel
+            # (the numpy backend IS masked_log_softmax_data; the numba one
+            # differs only in summation order of exactly-zero terms).
+            log_probs = self.gnn.kernels.masked_log_softmax(
                 node_logits.data[node_rows], node_mask
             )
             node_row = self._choose(log_probs, node_mask, rng, greedy)
@@ -434,14 +572,44 @@ class DecimaAgent(Module, Scheduler):
         ]
         if not active:
             return results
+        fast = self._use_data_path(training)
+        t0 = time.perf_counter()
         components = [
-            self.build_features(observations[index], graph_cache=graph_caches[index])
+            self.build_features(
+                observations[index],
+                graph_cache=graph_caches[index],
+                reuse_buffers=fast,
+            )
             for index in active
         ]
-        batch = GraphBatch.merge(components, structure_cache=merge_cache)
+        batch = GraphBatch.merge(
+            components, structure_cache=merge_cache, reuse_buffers=fast
+        )
         graph = batch.features
-        embeddings = self.gnn(graph)
-        node_logits = self.policy.node_logits(graph, embeddings)
+        t1 = time.perf_counter()
+        if fast:
+            node_emb, job_emb, global_emb = self.gnn.forward_data(graph)
+            embeddings = GraphEmbeddings(
+                node_embeddings=Tensor(node_emb),
+                job_embeddings=Tensor(job_emb),
+                global_embedding=Tensor(global_emb),
+            )
+            t2 = time.perf_counter()
+            node_logits = Tensor(
+                self.policy.node_logits_data(
+                    graph,
+                    node_emb,
+                    job_emb,
+                    global_emb,
+                    self.gnn.workspace,
+                    rows=np.flatnonzero(graph.schedulable_mask),
+                )
+            )
+        else:
+            embeddings = self.gnn(graph)
+            t2 = time.perf_counter()
+            node_logits = self.policy.node_logits(graph, embeddings)
+        t3 = time.perf_counter()
 
         # Phase 1: per-session stage selection (each session's own rng draw).
         stage_choices: list = []  # (index, node, job_index, log_prob, entropy)
@@ -516,6 +684,8 @@ class DecimaAgent(Module, Scheduler):
             )
             info = StepInfo(log_prob=log_prob, entropy=entropy) if training else None
             results[index] = (action, info)
+        t4 = time.perf_counter()
+        self.stage_timings.add(t1 - t0, t2 - t1, t3 - t2, t4 - t3)
         return results
 
     @staticmethod

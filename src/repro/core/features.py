@@ -180,6 +180,12 @@ class GraphStructure:
         self.node_index = node_index
         self.job_position = job_position
         self.job_ids = np.asarray(job_ids, dtype=np.intp)
+        # Row range of job k is job_node_offsets[k]:job_node_offsets[k + 1]
+        # (rows are ordered job-by-job), which lets per-job columns like the
+        # source-job one-hot be written as a slice instead of a comparison.
+        self.job_node_offsets = np.concatenate(
+            ([0], np.cumsum([job.num_nodes for job in self.jobs]))
+        ).astype(np.intp)
 
         num_nodes = len(nodes)
         parent_rows: list[int] = []
@@ -216,6 +222,7 @@ class GraphStructure:
             self.node_heights, self.edge_parent_rows, self.edge_child_rows
         )
         self._adjacency: Optional[np.ndarray] = None
+        self._scaled_durations: dict[float, np.ndarray] = {}
         # Graph segmentation: a structure built from one observation is a
         # single graph (all jobs belong to segment 0).  Merged structures
         # (cross-session batching, :func:`merge_structures`) assign every job
@@ -245,6 +252,20 @@ class GraphStructure:
             self._adjacency = matrix
         return self._adjacency
 
+    def scaled_task_durations(self, config: "FeatureConfig") -> np.ndarray:
+        """``task_durations / duration_scale``, cached — it is fully static.
+
+        The division is the one per-node scaling product whose operands never
+        change between steps, so it is the only one that can be cached without
+        perturbing bits (pre-dividing ``num_tasks`` would turn the dynamic
+        ``(num_tasks - finished) / scale`` into a different rounding).
+        """
+        cached = self._scaled_durations.get(config.duration_scale)
+        if cached is None:
+            cached = self.task_durations / config.duration_scale
+            self._scaled_durations[config.duration_scale] = cached
+        return cached
+
     def matches(self, jobs: list[JobDAG]) -> bool:
         """True when ``jobs`` is the identical (same objects, same order) job set."""
         return len(jobs) == len(self.jobs) and all(
@@ -256,10 +277,12 @@ class GraphFeatures:
     """Vectorised view of all job DAGs in one observation.
 
     Combines the step-invariant :class:`GraphStructure` with the per-step
-    dynamic arrays (feature matrix and schedulable mask).  Fresh dynamic
-    arrays are allocated every step — autograd graphs recorded during an
-    episode keep references to ``node_features``, so it is never mutated in
-    place.
+    dynamic arrays (feature matrix and schedulable mask).  By default fresh
+    dynamic arrays are handed out every step — autograd graphs recorded
+    during an episode keep references to ``node_features``, so training must
+    never see them mutated in place.  The inference hot path opts into
+    buffer reuse (``GraphCache.features(..., reuse_buffers=True)``), in which
+    case the arrays are arena-owned and only valid until the next step.
     """
 
     __slots__ = ("structure", "node_features", "schedulable_mask")
@@ -323,6 +346,72 @@ class GraphFeatures:
         return self.structure.node_index[id(node)]
 
 
+def _refresh_dynamic_features(
+    structure: GraphStructure,
+    observation: Observation,
+    config: FeatureConfig,
+    interarrival_hint: Optional[float],
+    out: np.ndarray,
+    rows: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Write the ``(N, F)`` feature matrix for the current step into ``out``.
+
+    With ``rows=None`` every per-node column is recomputed (the full-refresh
+    path, identical in ops — and therefore in bits — to the historical
+    ``np.fromiter`` build).  With ``rows`` (the delta path) only those rows'
+    task-counter columns (0 and 2) are recomputed; the static duration column
+    is left untouched and must already be populated.  The columns that depend
+    on whole-observation scalars (free executors, source-job one-hot,
+    interarrival hint) are cheap vectorized writes and refresh every step on
+    both paths.
+    """
+    nodes = structure.nodes
+    if rows is None:
+        num_nodes = structure.num_nodes
+        finished = np.fromiter(
+            (node.num_finished_tasks for node in nodes),
+            dtype=np.float64,
+            count=num_nodes,
+        )
+        running = np.fromiter(
+            (node.num_running_tasks for node in nodes),
+            dtype=np.float64,
+            count=num_nodes,
+        )
+        np.subtract(structure.num_tasks, finished, out=out[:, 0])
+        out[:, 0] /= config.task_scale
+        if config.include_task_duration:
+            out[:, 1] = structure.scaled_task_durations(config)
+        else:
+            out[:, 1] = 0.0
+        np.divide(running, config.executor_scale, out=out[:, 2])
+    elif rows.size:
+        finished = np.fromiter(
+            (nodes[row].num_finished_tasks for row in rows),
+            dtype=np.float64,
+            count=rows.size,
+        )
+        running = np.fromiter(
+            (nodes[row].num_running_tasks for row in rows),
+            dtype=np.float64,
+            count=rows.size,
+        )
+        out[rows, 0] = (structure.num_tasks[rows] - finished) / config.task_scale
+        out[rows, 2] = running / config.executor_scale
+    out[:, 3] = observation.num_free_executors / config.executor_scale
+    out[:, 4] = 0.0
+    source = observation.source_job
+    if source is not None:
+        source_pos = structure.job_position.get(id(source))
+        if source_pos is not None:
+            start, stop = structure.job_node_offsets[source_pos: source_pos + 2]
+            out[start:stop, 4] = 1.0
+    if config.include_interarrival_hint:
+        hint = interarrival_hint if interarrival_hint is not None else 0.0
+        out[:, 5] = hint / config.interarrival_scale
+    return out
+
+
 def _dynamic_node_features(
     structure: GraphStructure,
     observation: Observation,
@@ -330,40 +419,32 @@ def _dynamic_node_features(
     interarrival_hint: Optional[float],
 ) -> np.ndarray:
     """Fresh ``(N, F)`` feature matrix for the current step, fully vectorized."""
-    num_nodes = structure.num_nodes
-    features = np.zeros((num_nodes, config.num_features))
-    finished = np.fromiter(
-        (node.num_finished_tasks for node in structure.nodes),
-        dtype=np.float64,
-        count=num_nodes,
+    features = np.zeros((structure.num_nodes, config.num_features))
+    return _refresh_dynamic_features(
+        structure, observation, config, interarrival_hint, features
     )
-    running = np.fromiter(
-        (node.num_running_tasks for node in structure.nodes),
-        dtype=np.float64,
-        count=num_nodes,
-    )
-    features[:, 0] = (structure.num_tasks - finished) / config.task_scale
-    if config.include_task_duration:
-        features[:, 1] = structure.task_durations / config.duration_scale
-    features[:, 2] = running / config.executor_scale
-    features[:, 3] = observation.num_free_executors / config.executor_scale
-    source = observation.source_job
-    if source is not None:
-        source_pos = structure.job_position.get(id(source))
-        if source_pos is not None:
-            features[:, 4] = (structure.job_ids == source_pos).astype(np.float64)
-    if config.include_interarrival_hint:
-        hint = interarrival_hint if interarrival_hint is not None else 0.0
-        features[:, 5] = hint / config.interarrival_scale
-    return features
+
+
+def _refresh_schedulable_mask(
+    structure: GraphStructure, observation: Observation, out: np.ndarray
+) -> np.ndarray:
+    """Write the schedulable mask into ``out`` with one vectorized scatter."""
+    out[:] = False
+    schedulable = observation.schedulable_nodes
+    if schedulable:
+        node_index = structure.node_index
+        rows = np.fromiter(
+            (node_index[id(node)] for node in schedulable),
+            dtype=np.intp,
+            count=len(schedulable),
+        )
+        out[rows] = True
+    return out
 
 
 def _schedulable_mask(structure: GraphStructure, observation: Observation) -> np.ndarray:
     mask = np.zeros(structure.num_nodes, dtype=bool)
-    node_index = structure.node_index
-    for node in observation.schedulable_nodes:
-        mask[node_index[id(node)]] = True
-    return mask
+    return _refresh_schedulable_mask(structure, observation, mask)
 
 
 def build_graph_features(
@@ -400,38 +481,132 @@ class GraphCache:
     The cache holds no network outputs, so weight updates between training
     iterations never invalidate it; call :meth:`reset` at episode boundaries
     to release the references it keeps to the previous episode's jobs.
+
+    On top of structure reuse the cache keeps the ``(N, F)`` feature matrix
+    itself alive between steps and replays only the *delta*: each
+    :class:`JobDAG` logs the nodes whose task counters changed
+    (``log_feature_touch``), and :meth:`features` recomputes exactly those
+    rows plus the cheap whole-column scalars.  Any event that invalidates
+    per-row history — structure rebuild, feature-config change, a job's
+    ``feature_epoch`` advancing (episode reset, log compaction) — falls back
+    to one full refresh.  The two paths are bit-identical by construction
+    (same scalar ops per row) and pinned to each other by a hypothesis
+    property test.  ``num_delta_refreshes`` / ``num_full_refreshes`` count
+    which path served each step, for serving telemetry.
     """
 
     def __init__(self) -> None:
         self._structure: Optional[GraphStructure] = None
         self.num_rebuilds = 0
+        self.num_delta_refreshes = 0
+        self.num_full_refreshes = 0
+        self._features_buf: Optional[np.ndarray] = None
+        self._mask_buf: Optional[np.ndarray] = None
+        self._config_key: Optional[tuple] = None
+        # id(job) -> (feature_epoch, touch-log position) at the last refresh.
+        # Jobs are pinned by the cached structure, so the id() keys are
+        # collision-safe; the dict is rebuilt from scratch on every full
+        # refresh, which drops entries of departed jobs.
+        self._job_marks: dict[int, tuple[int, int]] = {}
 
     def reset(self) -> None:
         """Drop the cached structure (and the job references that pin it)."""
         self._structure = None
+        self._features_buf = None
+        self._mask_buf = None
+        self._config_key = None
+        self._job_marks = {}
 
     def structure_for(self, jobs: list[JobDAG]) -> GraphStructure:
         """Return a structure for ``jobs``, rebuilding only if the set changed."""
         if self._structure is None or not self._structure.matches(jobs):
             self._structure = GraphStructure(list(jobs))
             self.num_rebuilds += 1
+            self._features_buf = None
+            self._job_marks = {}
         return self._structure
+
+    def _mark_jobs(self, structure: GraphStructure) -> None:
+        """Snapshot every job's epoch + log position after a full refresh."""
+        self._job_marks = {
+            id(job): (job.feature_epoch, job.drain_feature_touches(0)[0])
+            for job in structure.jobs
+        }
+
+    def _touched_rows(self, structure: GraphStructure) -> Optional[np.ndarray]:
+        """Rows touched since the last refresh, or ``None`` to force a full one."""
+        marks = self._job_marks
+        rows: list[int] = []
+        updates: list[tuple[int, int, int]] = []
+        node_index = structure.node_index
+        for job in structure.jobs:
+            mark = marks.get(id(job))
+            if mark is None or mark[0] != job.feature_epoch:
+                return None
+            position, touched = job.drain_feature_touches(mark[1])
+            updates.append((id(job), job.feature_epoch, position))
+            for node in touched:
+                rows.append(node_index[id(node)])
+        for key, epoch, position in updates:
+            marks[key] = (epoch, position)
+        if not rows:
+            return np.empty(0, dtype=np.intp)
+        return np.unique(np.asarray(rows, dtype=np.intp))
 
     def features(
         self,
         observation: Observation,
         config: Optional[FeatureConfig] = None,
         interarrival_hint: Optional[float] = None,
+        reuse_buffers: bool = False,
     ) -> GraphFeatures:
-        """Graph inputs for ``observation``, reusing cached static structure."""
+        """Graph inputs for ``observation``, reusing cached static structure.
+
+        With ``reuse_buffers=True`` (inference only!) the returned arrays are
+        the cache's own persistent buffers — valid until the next call, never
+        safe to hand to autograd.  The default copies them out.
+        """
         config = config or FeatureConfig()
         structure = self.structure_for(observation.job_dags)
+        num_nodes = structure.num_nodes
+        config_key = (
+            config.task_scale,
+            config.duration_scale,
+            config.executor_scale,
+            config.include_interarrival_hint,
+            config.interarrival_scale,
+            config.include_task_duration,
+        )
+        buf = self._features_buf
+        rows: Optional[np.ndarray] = None
+        if buf is not None and buf.shape == (num_nodes, config.num_features) \
+                and self._config_key == config_key:
+            rows = self._touched_rows(structure)
+        if rows is None:
+            if buf is None or buf.shape != (num_nodes, config.num_features):
+                buf = np.zeros((num_nodes, config.num_features))
+                self._features_buf = buf
+            self._config_key = config_key
+            _refresh_dynamic_features(
+                structure, observation, config, interarrival_hint, buf
+            )
+            self._mark_jobs(structure)
+            self.num_full_refreshes += 1
+        else:
+            _refresh_dynamic_features(
+                structure, observation, config, interarrival_hint, buf, rows=rows
+            )
+            self.num_delta_refreshes += 1
+        mask = self._mask_buf
+        if mask is None or mask.shape[0] != num_nodes:
+            mask = np.zeros(num_nodes, dtype=bool)
+            self._mask_buf = mask
+        _refresh_schedulable_mask(structure, observation, mask)
+        if not reuse_buffers:
+            buf = buf.copy()
+            mask = mask.copy()
         return GraphFeatures(
-            structure=structure,
-            node_features=_dynamic_node_features(
-                structure, observation, config, interarrival_hint
-            ),
-            schedulable_mask=_schedulable_mask(structure, observation),
+            structure=structure, node_features=buf, schedulable_mask=mask
         )
 
 
@@ -469,7 +644,11 @@ def merge_structures(structures: Sequence[GraphStructure]) -> GraphStructure:
     merged.num_tasks = np.concatenate([s.num_tasks for s in structures])
     merged.task_durations = np.concatenate([s.task_durations for s in structures])
     merged.node_heights = np.concatenate([s.node_heights for s in structures])
+    merged.job_node_offsets = np.concatenate(
+        ([0], np.cumsum([job.num_nodes for job in merged.jobs]))
+    ).astype(np.intp)
     merged._adjacency = None
+    merged._scaled_durations = {}
     merged.num_graphs = len(structures)
     merged.job_graph_ids = np.concatenate(
         [np.full(s.num_jobs, k, dtype=np.intp) for k, s in enumerate(structures)]
@@ -523,10 +702,14 @@ class MergedStructureCache:
         self._components: Optional[tuple[GraphStructure, ...]] = None
         self._merged: Optional[GraphStructure] = None
         self.num_rebuilds = 0
+        self._features_buf: Optional[np.ndarray] = None
+        self._mask_buf: Optional[np.ndarray] = None
 
     def reset(self) -> None:
         self._components = None
         self._merged = None
+        self._features_buf = None
+        self._mask_buf = None
 
     def merged_structure(self, structures: Sequence[GraphStructure]) -> GraphStructure:
         components = tuple(structures)
@@ -535,6 +718,13 @@ class MergedStructureCache:
             self._components = components
             self.num_rebuilds += 1
         return self._merged
+
+    def feature_buffers(self, shape: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
+        """Persistent merged feature/mask arenas of exactly ``shape``."""
+        if self._features_buf is None or self._features_buf.shape != shape:
+            self._features_buf = np.empty(shape)
+            self._mask_buf = np.empty(shape[0], dtype=bool)
+        return self._features_buf, self._mask_buf
 
 
 class GraphBatch:
@@ -569,8 +759,14 @@ class GraphBatch:
         cls,
         components: Sequence[GraphFeatures],
         structure_cache: Optional[MergedStructureCache] = None,
+        reuse_buffers: bool = False,
     ) -> "GraphBatch":
-        """Fuse per-session features into one batch (single components pass through)."""
+        """Fuse per-session features into one batch (single components pass through).
+
+        ``reuse_buffers=True`` (inference only, needs a ``structure_cache``)
+        concatenates into the cache's persistent arenas instead of allocating
+        — the merged arrays are then valid only until the next merge.
+        """
         if not components:
             raise ValueError("GraphBatch.merge needs at least one component")
         node_slices = []
@@ -593,9 +789,21 @@ class GraphBatch:
             structure = structure_cache.merged_structure(structures)
         else:
             structure = merge_structures(structures)
+        feature_blocks = [c.node_features for c in components]
+        mask_blocks = [c.schedulable_mask for c in components]
+        if reuse_buffers and structure_cache is not None:
+            width = feature_blocks[0].shape[1]
+            node_features, schedulable_mask = structure_cache.feature_buffers(
+                (structure.num_nodes, width)
+            )
+            np.concatenate(feature_blocks, axis=0, out=node_features)
+            np.concatenate(mask_blocks, out=schedulable_mask)
+        else:
+            node_features = np.vstack(feature_blocks)
+            schedulable_mask = np.concatenate(mask_blocks)
         features = GraphFeatures(
             structure=structure,
-            node_features=np.vstack([c.node_features for c in components]),
-            schedulable_mask=np.concatenate([c.schedulable_mask for c in components]),
+            node_features=node_features,
+            schedulable_mask=schedulable_mask,
         )
         return cls(features, components, node_slices, job_slices)

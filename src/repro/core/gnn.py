@@ -21,6 +21,7 @@ import numpy as np
 
 from ..autograd import Tensor, concat, gather_rows, scatter_add_rows, segment_sum
 from .features import GraphFeatures
+from .kernels import Workspace, get_backend, mlp_forward
 from .nn import MLP, Module
 
 __all__ = ["GNNConfig", "GraphEmbeddings", "GraphNeuralNetwork"]
@@ -43,6 +44,11 @@ class GNNConfig:
     # original dense formulation (full-width MLP passes and an O(N²) adjacency
     # matmul per height), kept as the numerical-equivalence oracle.
     sparse_message_passing: bool = True
+    # Kernel backend for the inference data path (:meth:`forward_data`):
+    # "numpy" is the reference; "numba" selects the optional JIT-compiled
+    # gather/segment-sum + masked-softmax kernels and falls back to numpy when
+    # numba is not installed.  Training always runs on the autograd path.
+    kernel_backend: str = "numpy"
 
 
 @dataclass
@@ -78,6 +84,17 @@ class GraphNeuralNetwork(Module):
         # Global summary transforms (inputs: job embeddings).
         self.global_f = MLP(dim, dim, rng, hidden_sizes=hidden)
         self.global_g = MLP(dim, dim, rng, hidden_sizes=hidden)
+        # Inference-only arena + kernel backend (resolved lazily so a config
+        # naming the optional "numba" backend still constructs when the
+        # dependency is absent — get_backend falls back to numpy).
+        self.workspace = Workspace()
+        self._kernels = None
+
+    @property
+    def kernels(self):
+        if self._kernels is None:
+            self._kernels = get_backend(self.config.kernel_backend)
+        return self._kernels
 
     # ------------------------------------------------------------------ nodes
     def node_embeddings(self, graph: GraphFeatures) -> Tensor:
@@ -172,3 +189,75 @@ class GraphNeuralNetwork(Module):
         jobs = self.job_embeddings(graph, nodes)
         cluster = self.global_embedding(jobs, graph)
         return GraphEmbeddings(node_embeddings=nodes, job_embeddings=jobs, global_embedding=cluster)
+
+    # ------------------------------------------------------ inference data path
+    def forward_data(
+        self, graph: GraphFeatures
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Arena-buffered forward pass on plain arrays (sparse path only).
+
+        Returns ``(node, job, global)`` embedding arrays owned by the
+        network's workspace — valid until the next forward, never safe to
+        hand to autograd.  Bit-identical to ``self(graph)``: every step is
+        the same numpy operation the tensor ops perform (gemm + broadcast
+        add, leaky-ReLU multiplier, gather, zero + ``np.add.at`` segment
+        sum), merely writing into preallocated buffers; the differential
+        pair ``inference_kernels_vs_tensor`` pins the two paths to each
+        other end to end.
+        """
+        config = self.config
+        if not config.sparse_message_passing:
+            raise ValueError("forward_data implements the sparse path only")
+        kernels = self.kernels
+        workspace = self.workspace
+        features = graph.node_features
+        embeddings = mlp_forward(self.prep, features, workspace, "prep")
+        for index, level in enumerate(graph.frontier_levels):
+            if level.height > config.max_message_passing_depth:
+                break
+            children = workspace.get(
+                f"lvl{index}:child", (len(level.child_rows), config.embedding_dim)
+            )
+            np.take(embeddings, level.child_rows, axis=0, out=children)
+            messages = mlp_forward(self.node_f, children, workspace, f"lvl{index}:f")
+            aggregated = workspace.get(
+                f"lvl{index}:agg", (level.num_targets, config.embedding_dim)
+            )
+            scratch = workspace.get(
+                f"lvl{index}:edges", (len(level.message_rows), config.embedding_dim)
+            )
+            kernels.gather_segment_sum(
+                messages, level.message_rows, level.target_segments, aggregated, scratch
+            )
+            if config.two_level_aggregation:
+                update = mlp_forward(self.node_g, aggregated, workspace, f"lvl{index}:g")
+            else:
+                update = aggregated
+            # Frontier rows are unique, so in-place accumulation matches the
+            # tensor path's copy-then-add.at scatter exactly.
+            np.add.at(embeddings, level.target_rows, update)
+        num_nodes, num_features = features.shape
+        dim = config.embedding_dim
+        job_inputs = workspace.get("job_in", (num_nodes, num_features + dim))
+        job_inputs[:, :num_features] = features
+        job_inputs[:, num_features:] = embeddings
+        transformed = mlp_forward(self.job_f, job_inputs, workspace, "job_f")
+        job_sums = workspace.get("job_sum", (graph.num_jobs, dim))
+        job_sums[:] = 0.0
+        np.add.at(job_sums, graph.job_ids, transformed)
+        if config.two_level_aggregation:
+            job_embeddings = mlp_forward(self.job_g, job_sums, workspace, "job_g")
+        else:
+            job_embeddings = job_sums
+        transformed = mlp_forward(self.global_f, job_embeddings, workspace, "global_f")
+        global_sums = workspace.get("global_sum", (graph.num_graphs, dim))
+        global_sums[:] = 0.0
+        # np.add.at even for the single-graph case: its sequential row-order
+        # accumulation is what segment_sum does on the tensor path (a pairwise
+        # .sum(axis=0) would round differently).
+        np.add.at(global_sums, graph.job_graph_ids, transformed)
+        if config.two_level_aggregation:
+            global_embedding = mlp_forward(self.global_g, global_sums, workspace, "global_g")
+        else:
+            global_embedding = global_sums
+        return embeddings, job_embeddings, global_embedding

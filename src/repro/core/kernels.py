@@ -1,0 +1,278 @@
+"""Inference kernels and arena buffers for the per-decision hot path.
+
+The training path runs on :mod:`repro.autograd` tensors, which allocate a
+fresh array per op and record a backward closure.  At inference none of that
+is needed, and on the graphs Decima sees per decision (hundreds to thousands
+of nodes, feature widths of 5-30, embedding dim 8) the allocator + autograd
+bookkeeping costs more than the arithmetic.  This module provides the
+inference data path:
+
+* :class:`Workspace` — a named arena of reusable scratch buffers, so the
+  steady-state ``act()`` does zero large allocations (buffers are keyed by
+  name and reallocated only when the graph size changes);
+* :func:`mlp_forward` — an MLP forward over plain arrays writing into arena
+  buffers, **bit-identical** to the autograd MLP (same ``x @ W + b`` and
+  ``x * where(x > 0, 1, slope)`` operations, in the same order, only with
+  preallocated outputs);
+* kernel backends (:func:`get_backend`) for the two aggregation primitives
+  the sparse GNN leans on — the frontier gather+segment-sum and the masked
+  log-softmax.  The ``numpy`` backend is the reference; the ``numba``
+  backend JIT-compiles fused sequential loops (optional dependency, install
+  with ``pip install -e .[kernels]``) and falls back to numpy transparently
+  when numba is absent.
+
+The numba kernels accumulate in ascending edge order, exactly like
+``np.add.at``, so the two backends agree bit-for-bit on the segment sums;
+the differential pair ``kernel_vs_numpy_gnn`` pins that down on every
+registry scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..autograd.functional import masked_log_softmax_data
+
+__all__ = [
+    "Workspace",
+    "KernelBackend",
+    "get_backend",
+    "kernel_backend_names",
+    "numba_available",
+    "mlp_forward",
+    "leaky_relu_inplace",
+]
+
+
+class Workspace:
+    """A named arena of reusable scratch arrays.
+
+    ``get(name, shape)`` returns a float64 buffer of exactly ``shape``,
+    reusing the previous allocation for ``name`` whenever the shape still
+    matches (the steady state between graph rebuilds).  Contents are
+    whatever the last user left — callers must fully overwrite.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def get(self, name: str, shape: tuple, dtype=np.float64) -> np.ndarray:
+        buffer = self._buffers.get(name)
+        if buffer is None or buffer.shape != shape or buffer.dtype != dtype:
+            buffer = np.empty(shape, dtype=dtype)
+            self._buffers[name] = buffer
+        return buffer
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+    @property
+    def num_buffers(self) -> int:
+        return len(self._buffers)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(buffer.nbytes for buffer in self._buffers.values())
+
+
+def leaky_relu_inplace(
+    values: np.ndarray, negative_slope: float, workspace: Workspace, tag: str
+) -> None:
+    """In-place leaky ReLU, bit-identical to ``Tensor.leaky_relu``.
+
+    The tensor op computes ``x * where(x > 0, 1.0, slope)``.  For a slope in
+    (0, 1) that equals ``max(x, x * slope)`` exactly: positive ``x`` beats its
+    scaled-down copy and is returned unchanged (``x * 1.0``), non-positive
+    ``x`` loses to it, and the surviving product is the identical multiply.
+    Two array passes instead of the four a literal mask build would take.
+    """
+    if not 0.0 < negative_slope < 1.0:  # pragma: no cover - paper uses 0.2
+        mask = np.where(values > 0, 1.0, negative_slope)
+        values *= mask
+        return
+    scaled = workspace.get(f"{tag}:scaled", values.shape)
+    np.multiply(values, negative_slope, out=scaled)
+    np.maximum(values, scaled, out=values)
+
+
+def mlp_forward(mlp, inputs: np.ndarray, workspace: Workspace, tag: str) -> np.ndarray:
+    """Run an autograd :class:`~repro.core.nn.MLP` on plain arrays via arenas.
+
+    Returns an arena-owned ``(rows, out_features)`` buffer (valid until the
+    next ``mlp_forward`` with the same ``tag``).  Bit-identical to
+    ``mlp(Tensor(inputs)).data``: each layer is the same
+    ``np.matmul(x, W) + b`` (gemm then broadcast add) and the same leaky-ReLU
+    multiplier, only written into preallocated buffers.
+    """
+    if mlp.output_activation is not None:  # pragma: no cover - not used at inference
+        raise ValueError("mlp_forward supports linear-output MLPs only")
+    out = inputs
+    last = len(mlp.layers) - 1
+    for index, layer in enumerate(mlp.layers):
+        weight = layer.weight.data
+        buffer = workspace.get(f"{tag}:{index}", (out.shape[0], weight.shape[1]))
+        np.matmul(out, weight, out=buffer)
+        buffer += layer.bias.data
+        if index < last:
+            leaky_relu_inplace(buffer, mlp.negative_slope, workspace, f"{tag}:{index}")
+        out = buffer
+    return out
+
+
+# ------------------------------------------------------------ kernel backends
+class KernelBackend:
+    """The two aggregation primitives behind the dense/sparse oracle seam.
+
+    ``gather_segment_sum`` implements the per-level message aggregation
+    ``out[segments[k]] += messages[rows[k]]`` (``out`` is zeroed first);
+    ``masked_log_softmax`` mirrors
+    :func:`~repro.autograd.functional.masked_log_softmax_data`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        gather_segment_sum: Callable,
+        masked_log_softmax: Callable,
+        compiled: bool,
+    ):
+        self.name = name
+        self.gather_segment_sum = gather_segment_sum
+        self.masked_log_softmax = masked_log_softmax
+        self.compiled = compiled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KernelBackend({self.name!r}, compiled={self.compiled})"
+
+
+def _numpy_gather_segment_sum(
+    messages: np.ndarray,
+    message_rows: np.ndarray,
+    target_segments: np.ndarray,
+    out: np.ndarray,
+    scratch: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Reference kernel: gather per-edge messages, segment-sum into ``out``."""
+    out[:] = 0.0
+    if scratch is not None:
+        np.take(messages, message_rows, axis=0, out=scratch)
+        gathered = scratch
+    else:
+        gathered = messages[message_rows]
+    np.add.at(out, target_segments, gathered)
+    return out
+
+
+_NUMBA_KERNELS: Optional[tuple] = None
+
+
+def numba_available() -> bool:
+    """True when the optional numba dependency imports."""
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _build_numba_kernels() -> Optional[tuple]:
+    """Compile the fused kernels once; ``None`` when numba is absent."""
+    global _NUMBA_KERNELS
+    if _NUMBA_KERNELS is not None:
+        return _NUMBA_KERNELS
+    try:
+        from numba import njit
+    except ImportError:
+        return None
+
+    @njit(cache=False)
+    def gather_segment_sum(messages, message_rows, target_segments, out):
+        # Sequential accumulation in edge order == np.add.at semantics, so
+        # the compiled backend is bit-identical to the numpy reference.
+        out[:] = 0.0
+        width = messages.shape[1]
+        for k in range(message_rows.shape[0]):
+            src = message_rows[k]
+            dst = target_segments[k]
+            for d in range(width):
+                out[dst, d] += messages[src, d]
+        return out
+
+    @njit(cache=False)
+    def masked_log_softmax_1d(logits, mask, out):
+        neg_inf = -1.0e9
+        n = logits.shape[0]
+        highest = -np.inf
+        for i in range(n):
+            shifted = logits[i] if mask[i] else logits[i] + neg_inf
+            out[i] = shifted
+            if shifted > highest:
+                highest = shifted
+        norm = 0.0
+        for i in range(n):
+            out[i] -= highest
+            norm += np.exp(out[i])
+        log_norm = np.log(norm)
+        for i in range(n):
+            out[i] -= log_norm
+        return out
+
+    _NUMBA_KERNELS = (gather_segment_sum, masked_log_softmax_1d)
+    return _NUMBA_KERNELS
+
+
+def _numba_gather_segment_sum(messages, message_rows, target_segments, out, scratch=None):
+    kernels = _build_numba_kernels()
+    assert kernels is not None
+    return kernels[0](messages, message_rows, target_segments, out)
+
+
+def _numba_masked_log_softmax(logits, mask, axis: int = -1):
+    kernels = _build_numba_kernels()
+    assert kernels is not None
+    logits = np.ascontiguousarray(np.asarray(logits, dtype=np.float64))
+    mask = np.ascontiguousarray(np.asarray(mask, dtype=bool))
+    if logits.ndim != 1:  # pragma: no cover - the hot path is 1-D
+        return masked_log_softmax_data(logits, mask, axis=axis)
+    if not mask.any():
+        raise ValueError("masked softmax requires at least one valid entry")
+    return kernels[1](logits, mask, np.empty_like(logits))
+
+
+_NUMPY_BACKEND = KernelBackend(
+    "numpy", _numpy_gather_segment_sum, masked_log_softmax_data, compiled=False
+)
+
+
+def kernel_backend_names() -> tuple[str, ...]:
+    """Backends accepted by :func:`get_backend` (and ``GNNConfig``)."""
+    return ("numpy", "numba")
+
+
+def get_backend(name: str = "numpy") -> KernelBackend:
+    """Resolve a kernel backend by name.
+
+    ``"numba"`` returns the JIT-compiled kernels when numba is importable and
+    **silently falls back to the numpy reference otherwise** — the optional
+    dependency must never change behaviour, only speed (the two backends are
+    bit-identical by construction, see the module docstring).
+    """
+    if name == "numpy":
+        return _NUMPY_BACKEND
+    if name == "numba":
+        if numba_available():
+            return KernelBackend(
+                "numba",
+                _numba_gather_segment_sum,
+                _numba_masked_log_softmax,
+                compiled=True,
+            )
+        return _NUMPY_BACKEND
+    raise ValueError(
+        f"unknown kernel backend {name!r}; known backends: "
+        f"{', '.join(kernel_backend_names())} (plus 'tensor' at the agent level)"
+    )

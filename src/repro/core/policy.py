@@ -22,6 +22,7 @@ from ..autograd import Tensor, concat
 from ..simulator.executor import ExecutorClass
 from .features import GraphFeatures
 from .gnn import GraphEmbeddings
+from .kernels import Workspace, mlp_forward
 from .nn import MLP, Module
 
 __all__ = ["PolicyConfig", "PolicyNetwork"]
@@ -80,6 +81,58 @@ class PolicyNetwork(Module):
             node_emb = job_emb = global_emb = zeros
         inputs = concat([features, node_emb, job_emb, global_emb], axis=1)
         return self.node_score(inputs).reshape(num_nodes)
+
+    def node_logits_data(
+        self,
+        graph: GraphFeatures,
+        node_emb: np.ndarray,
+        job_emb: np.ndarray,
+        global_emb: np.ndarray,
+        workspace: Workspace,
+        rows: "np.ndarray | None" = None,
+    ) -> np.ndarray:
+        """Arena-buffered :meth:`node_logits` on plain arrays (inference only).
+
+        With ``rows`` the score MLP runs only over those node rows (the
+        schedulable set — Eq. 2 masks every other row to -1e9 anyway, so
+        their scores are never read); the other entries of the returned
+        ``(N,)`` buffer are zero-filled, which behaves exactly like the full
+        pass under the masked softmax (both underflow to an exact 0.0
+        probability).  The returned buffer is workspace-owned and valid until
+        the next call.
+        """
+        config = self.config
+        features = graph.node_features
+        num_features = features.shape[1]
+        dim = config.embedding_dim
+        logits = workspace.get("node_logits", (graph.num_nodes,))
+        if rows is None:
+            num_rows = graph.num_nodes
+            inputs = workspace.get("score_in", (num_rows, num_features + 3 * dim))
+            inputs[:, :num_features] = features
+            job_rows = graph.job_ids
+            row_nodes = node_emb
+        else:
+            num_rows = rows.size
+            inputs = workspace.get("score_in", (num_rows, num_features + 3 * dim))
+            inputs[:, :num_features] = features[rows]
+            job_rows = graph.job_ids[rows]
+            row_nodes = node_emb[rows]
+            logits[:] = 0.0
+        if config.use_graph_embedding:
+            inputs[:, num_features: num_features + dim] = row_nodes
+            inputs[:, num_features + dim: num_features + 2 * dim] = job_emb[job_rows]
+            inputs[:, num_features + 2 * dim:] = global_emb[
+                graph.job_graph_ids[job_rows]
+            ]
+        else:
+            inputs[:, num_features:] = 0.0
+        scores = mlp_forward(self.node_score, inputs, workspace, "node_score")
+        if rows is None:
+            logits[:] = scores[:, 0]
+        else:
+            logits[rows] = scores[:, 0]
+        return logits
 
     # ----------------------------------------------------------------- limits
     def limit_logits(

@@ -222,6 +222,15 @@ class RequestBroker:
         self.num_fallback_decisions = 0
         self.num_slo_breaches = 0
         self.latencies: deque = deque(maxlen=_BROKER_LATENCY_WINDOW)
+        # Aggregated GraphCache telemetry across every served session: the
+        # per-session counters are sampled after each round and the broker
+        # accumulates their non-negative increments (a counter moving
+        # backwards means a new session object recycled the id — reset its
+        # baseline rather than under-count).
+        self.graph_delta_refreshes = 0
+        self.graph_full_refreshes = 0
+        self.graph_rebuilds = 0
+        self._cache_marks: dict[int, tuple[int, int, int]] = {}
 
     # ----------------------------------------------------------------- policy
     def _policy_batched(
@@ -346,6 +355,20 @@ class RequestBroker:
                 and result.latency_seconds > self.breaker.slo_seconds
             ):
                 self.num_slo_breaches += 1
+        for request in requests:
+            cache = request.session.graph_cache
+            current = (
+                cache.num_delta_refreshes,
+                cache.num_full_refreshes,
+                cache.num_rebuilds,
+            )
+            mark = self._cache_marks.get(id(request.session), (0, 0, 0))
+            if any(now < seen for now, seen in zip(current, mark)):
+                mark = (0, 0, 0)
+            self.graph_delta_refreshes += current[0] - mark[0]
+            self.graph_full_refreshes += current[1] - mark[1]
+            self.graph_rebuilds += current[2] - mark[2]
+            self._cache_marks[id(request.session)] = current
         if self.decision_tap is not None:
             for request, result in zip(requests, results):
                 self.decision_tap(request, result)  # type: ignore[arg-type]
@@ -364,5 +387,15 @@ class RequestBroker:
                 [seconds * 1000.0 for seconds in self.latencies]
             ),
             "merged_structure_rebuilds": self.merge_cache.num_rebuilds,
+            # Where decision time goes inside the agent (features /
+            # propagation / policy / sampling), cumulative over every
+            # act()/act_batch() this agent ran — the control plane relays
+            # this per shard so hot-path regressions show up in production.
+            "stage_timing": self.agent.stage_timings.snapshot(),
+            "graph_cache": {
+                "delta_refreshes": self.graph_delta_refreshes,
+                "full_refreshes": self.graph_full_refreshes,
+                "rebuilds": self.graph_rebuilds,
+            },
             "breaker": self.breaker.stats() if self.breaker is not None else None,
         }

@@ -118,8 +118,19 @@ class SessionState:
     def _refresh_counters(by_id: dict, payload: dict) -> None:
         for spec in payload["nodes"]:
             node = by_id[int(spec["node_id"])]
-            node.num_finished_tasks = int(spec["num_finished_tasks"])
-            node.num_running_tasks = int(spec["num_running_tasks"])
+            finished = int(spec["num_finished_tasks"])
+            running = int(spec["num_running_tasks"])
+            # Log a feature touch only when a counter the feature matrix
+            # reads actually changed, so the session's GraphCache delta path
+            # refreshes exactly the rows this snapshot moved.
+            # (next_task_index feeds no feature column.)
+            if (
+                finished != node.num_finished_tasks
+                or running != node.num_running_tasks
+            ) and node.job is not None:
+                node.job.log_feature_touch(node)
+            node.num_finished_tasks = finished
+            node.num_running_tasks = running
             node.next_task_index = int(spec["next_task_index"])
 
     def observation_from_snapshot(self, payload: dict) -> Observation:
@@ -228,5 +239,7 @@ class SessionState:
             "num_policy_decisions": self.num_policy_decisions,
             "num_fallback_decisions": self.num_fallback_decisions,
             "graph_rebuilds": self.graph_cache.num_rebuilds,
+            "graph_delta_refreshes": self.graph_cache.num_delta_refreshes,
+            "graph_full_refreshes": self.graph_cache.num_full_refreshes,
             "latency": latency_histogram(self.latencies),
         }

@@ -129,6 +129,8 @@ class Node:
         task = self.tasks[self.next_task_index]
         self.next_task_index += 1
         self.num_running_tasks += 1
+        if self.job is not None:
+            self.job.log_feature_touch(self)
         return task
 
     def finish_task(self, task: Task, wall_time: float) -> None:
@@ -137,6 +139,8 @@ class Node:
         self.num_running_tasks -= 1
         if self.completed and self.completion_time < 0:
             self.completion_time = wall_time
+        if self.job is not None:
+            self.job.log_feature_touch(self)
 
     def reset(self) -> None:
         for task in self.tasks:
@@ -146,6 +150,8 @@ class Node:
         self.num_running_tasks = 0
         self.completion_time = -1.0
         self.first_wave_dispatched = 0
+        if self.job is not None:
+            self.job.log_feature_touch(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         job_name = self.job.name if self.job is not None else "?"
@@ -179,6 +185,13 @@ class JobDAG:
         # diminishing-returns / slowdown effect of wide shuffles (§6.2 item 3).
         self.work_inflation = work_inflation
         self.executor_ids: set[int] = set()
+        # Delta-feature bookkeeping: nodes whose task counters changed since a
+        # feature consumer last drained the log, plus an epoch that advances
+        # whenever per-node history can no longer be trusted (job reset, log
+        # overflow) so consumers know to fall back to a full refresh.
+        self.feature_epoch = 0
+        self._touched_nodes: list[Node] = []
+        self._touch_log_limit = 4 * len(self.nodes) + 16
 
         node_ids = {node.node_id for node in self.nodes}
         if len(node_ids) != len(self.nodes):
@@ -254,11 +267,36 @@ class JobDAG:
         """Length of the critical path of the DAG in task-seconds of work."""
         return max(critical_path_value(node) for node in self.nodes)
 
+    # ------------------------------------------------- delta-feature tracking
+    def log_feature_touch(self, node: Node) -> None:
+        """Record that ``node``'s task counters changed.
+
+        Feature caches drain this log to refresh only the touched rows of the
+        persistent feature matrix.  When the log outgrows the job (several
+        times the node count — at that point a full refresh is cheaper than
+        replaying the deltas) it is compacted into an epoch bump, which tells
+        every consumer to do one full refresh and start over.
+        """
+        if len(self._touched_nodes) >= self._touch_log_limit:
+            self.feature_epoch += 1
+            self._touched_nodes.clear()
+        else:
+            self._touched_nodes.append(node)
+
+    def drain_feature_touches(self, log_position: int) -> tuple[int, list[Node]]:
+        """Return ``(new_position, nodes touched since log_position)``."""
+        touched = self._touched_nodes
+        return len(touched), touched[log_position:]
+
     def reset(self) -> None:
         for node in self.nodes:
             node.reset()
         self.completion_time = -1.0
         self.executor_ids = set()
+        # Per-node resets above logged touches; collapse them into one epoch
+        # bump so stale per-job cache state can never replay across episodes.
+        self.feature_epoch += 1
+        self._touched_nodes.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"JobDAG({self.name}, stages={self.num_nodes}, work={self.total_work:.1f})"

@@ -123,7 +123,11 @@ def resolve_variant(name: str) -> VariantFn:
 
 # ------------------------------------------------------------- variant builders
 def _build_decima(
-    config, sparse: bool, cache: bool, multi: Optional[bool] = None
+    config,
+    sparse: bool,
+    cache: bool,
+    multi: Optional[bool] = None,
+    kernel_backend: str = "numpy",
 ) -> DecimaAgent:
     classes = config.executor_classes or []
     if multi is None:
@@ -135,6 +139,7 @@ def _build_decima(
             sparse_message_passing=sparse,
             use_graph_cache=cache,
             multi_resource=multi,
+            kernel_backend=kernel_backend,
         ),
     )
 
@@ -169,10 +174,20 @@ def _scheduler_stream(task: DifferentialTask, scheduler_name: str) -> EpisodeTra
     )
 
 
-def _decima_stream(task: DifferentialTask, sparse: bool, cache: bool, label: str):
+def _decima_stream(
+    task: DifferentialTask,
+    sparse: bool,
+    cache: bool,
+    label: str,
+    kernel_backend: str = "numpy",
+):
     spec = task.resolve_spec()
     simulator_config = spec.build_config(seed=task.seed)
-    return _record(task, _build_decima(simulator_config, sparse, cache), label)
+    return _record(
+        task,
+        _build_decima(simulator_config, sparse, cache, kernel_backend=kernel_backend),
+        label,
+    )
 
 
 # --------------------------------------------------- rollout-backend variants
@@ -416,6 +431,12 @@ register_variant("decima:default", lambda task: _decima_stream(task, True, True,
 register_variant("decima:dense_gnn", lambda task: _decima_stream(task, False, True, "decima:dense_gnn"))
 register_variant("decima:scratch_features", lambda task: _decima_stream(task, True, False, "decima:scratch_features"))
 register_variant("decima:reference", lambda task: _decima_stream(task, False, False, "decima:reference"))
+# Kernel-backend variants: "numba" JIT-compiles the frontier gather/segment-sum
+# and masked-softmax kernels (falling back to numpy silently when the optional
+# dependency is absent, so this variant is always runnable); "tensor" routes
+# inference through the full autograd oracle instead of the data path.
+register_variant("decima:kernel_gnn", lambda task: _decima_stream(task, True, True, "decima:kernel_gnn", kernel_backend="numba"))
+register_variant("decima:tensor_forward", lambda task: _decima_stream(task, True, True, "decima:tensor_forward", kernel_backend="tensor"))
 register_variant("rollout:serial", _rollout_serial)
 register_variant("rollout:parallel", _rollout_parallel)
 register_variant("service:batched", lambda task: _service_stream(task, True))
@@ -436,6 +457,14 @@ IMPLEMENTATION_PAIRS: Dict[str, dict] = {
     },
     "fast_vs_reference": {
         "variants": ("decima:default", "decima:reference"),
+        "fields": DEFAULT_COMPARE_FIELDS,
+    },
+    "kernel_vs_numpy_gnn": {
+        "variants": ("decima:kernel_gnn", "decima:default"),
+        "fields": DEFAULT_COMPARE_FIELDS,
+    },
+    "inference_kernels_vs_tensor": {
+        "variants": ("decima:default", "decima:tensor_forward"),
         "fields": DEFAULT_COMPARE_FIELDS,
     },
     "serial_vs_parallel_rollout": {

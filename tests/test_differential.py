@@ -26,7 +26,8 @@ SMALL = dict(num_jobs=3, num_executors=8, max_decisions=40)
 class TestRegistry:
     def test_builtin_variants_registered(self):
         names = variant_names()
-        for name in ("decima:default", "decima:dense_gnn", "rollout:serial",
+        for name in ("decima:default", "decima:dense_gnn", "decima:kernel_gnn",
+                     "decima:tensor_forward", "rollout:serial",
                      "rollout:parallel", "service:batched", "service:serial"):
             assert name in names
         # Every registered scheduler is reachable as a variant.
@@ -95,6 +96,17 @@ class TestImplementationPairs:
         never the answers themselves."""
         task = DifferentialTask(scenario=scenario, seed=11, num_sessions=5, **SMALL)
         report = run_pair("sharded_vs_serial_service", task)
+        assert report.ok, report.describe()
+        assert min(report.num_decisions) > 5
+
+    @pytest.mark.parametrize("scenario", sorted(scenario_names()))
+    def test_kernel_backend_matches_numpy_on_every_scenario(self, scenario):
+        """Acceptance (issue 7): the compiled-kernel backend (or its numpy
+        fallback when numba is absent) produces the exact same decision
+        stream as the numpy reference on all registry scenarios — the
+        optional dependency may only change speed, never behaviour."""
+        task = DifferentialTask(scenario=scenario, seed=7, **SMALL)
+        report = run_pair("kernel_vs_numpy_gnn", task)
         assert report.ok, report.describe()
         assert min(report.num_decisions) > 5
 

@@ -220,8 +220,58 @@ class TestGraphCacheProperty:
         assert cache.num_rebuilds == 2
 
 
-def make_agent(sparse: bool, executors: int = 8) -> DecimaAgent:
-    return make_decima_agent(total_executors=executors, seed=0, sparse=sparse)
+def make_agent(sparse: bool, executors: int = 8, **overrides) -> DecimaAgent:
+    return make_decima_agent(
+        total_executors=executors, seed=0, sparse=sparse, **overrides
+    )
+
+
+class TestKernelBackendEquivalence:
+    """The inference data path under every kernel backend vs the oracle.
+
+    ``numpy`` is the reference data-path backend, ``numba`` the (optional)
+    compiled one — silently the numpy kernels when numba is absent — and
+    ``tensor`` routes ``act()`` through the full autograd forward.  All three
+    must produce identical forwards and identical sampled episodes.
+    """
+
+    @pytest.mark.parametrize("kernel_backend", ["numpy", "numba"])
+    def test_forward_data_matches_tensor_forward(self, kernel_backend):
+        _, observation = tpch_observation(num_jobs=3)
+        graph = build_graph_features(observation)
+        gnn = GraphNeuralNetwork(
+            GNNConfig(sparse_message_passing=True, kernel_backend=kernel_backend),
+            np.random.default_rng(0),
+        )
+        nodes, jobs, global_emb = gnn.forward_data(graph)
+        oracle = gnn(graph)
+        np.testing.assert_allclose(
+            nodes, oracle.node_embeddings.data, atol=TOL, rtol=0
+        )
+        np.testing.assert_allclose(
+            jobs, oracle.job_embeddings.data, atol=TOL, rtol=0
+        )
+        np.testing.assert_allclose(
+            global_emb, oracle.global_embedding.data, atol=TOL, rtol=0
+        )
+
+    @pytest.mark.parametrize("kernel_backend", ["numba", "tensor"])
+    def test_sampled_rollout_identical_across_backends(self, kernel_backend):
+        def episode(backend):
+            rng = np.random.default_rng(0)
+            jobs = batched_arrivals(sample_tpch_jobs(3, rng, sizes=(2.0, 5.0)))
+            env = SchedulingEnvironment(SimulatorConfig(num_executors=8, seed=0))
+            agent = make_agent(True, kernel_backend=backend)
+            return collect_rollout(
+                env, agent, copy.deepcopy(jobs), rng=np.random.default_rng(1),
+                seed=5, max_actions=120,
+            )
+
+        baseline = episode("numpy")
+        other = episode(kernel_backend)
+        assert baseline.num_actions == other.num_actions
+        np.testing.assert_array_equal(baseline.rewards(), other.rewards())
+        np.testing.assert_array_equal(baseline.wall_times(), other.wall_times())
 
 
 class TestEndToEndEquivalence:
