@@ -21,14 +21,27 @@ processes behind the session-hashing router); the summary then also carries a
 control-plane snapshot (per-shard health and broker/SLO stats).  Against an
 externally-started fleet, pass its control address via ``--control`` to get
 the same snapshot.
+
+With ``--online`` (self-host only) the target learns while serving: an
+:class:`~repro.learning.OnlineLearningManager` drains per-decision experience,
+runs background REINFORCE updates and hot-swaps each checkpointed result into
+the serving processes.  The summary then carries a ``learning`` section
+(policy version, updates applied, rollbacks, buffer occupancy) — the CI
+online smoke asserts at least one update landed with zero dropped sessions.
 """
 
 import argparse
 import json
 import sys
+import tempfile
 
-from repro.core import DecimaAgent, DecimaConfig
-from repro.service import ControlClient, PolicyServer, ServingFleet, run_load
+from repro.core import CheckpointStore, DecimaAgent, DecimaConfig
+from repro.learning import (
+    OnlineLearningConfig,
+    OnlineLearningManager,
+    OnlineTrainerConfig,
+)
+from repro.service import ControlClient, ServingConfig, build_server, run_load
 
 
 def main() -> None:
@@ -54,6 +67,13 @@ def main() -> None:
                         help="self-host a fleet with this many shard processes")
     parser.add_argument("--max-sessions", type=int, default=None,
                         help="admission limit for the self-hosted fleet")
+    parser.add_argument("--online", action="store_true",
+                        help="self-hosted target learns online while serving "
+                             "(background REINFORCE + checkpoint hot-swap)")
+    parser.add_argument("--learning-rate", type=float, default=1e-3,
+                        help="online learning rate (--online)")
+    parser.add_argument("--update-interval", type=float, default=0.5,
+                        help="seconds between online update ticks (--online)")
     parser.add_argument("--control", metavar="HOST:PORT", default=None,
                         help="control-plane address of an external fleet "
                              "(snapshot health/stats into the summary)")
@@ -62,8 +82,12 @@ def main() -> None:
 
     if not args.connect and not args.serve:
         args.serve = True  # sensible default: a self-contained run
+    if args.online and not args.serve:
+        parser.error("--online requires the self-hosted target (--serve)")
 
     server = None
+    manager = None
+    store_tmp = None
     control_address = None
     if args.control:
         control_host, _, control_port = args.control.partition(":")
@@ -74,25 +98,33 @@ def main() -> None:
         agent = DecimaAgent(
             total_executors=args.executors, config=DecimaConfig(seed=args.seed)
         )
+        config = ServingConfig(
+            num_shards=args.shards,
+            max_sessions=args.max_sessions,
+            slo_ms=args.slo_ms,
+            batched=not args.serial,
+            collect_experience=args.online,
+        )
+        server = build_server(config, agent=agent)
+        host, port = server.start()
         if args.shards > 1:
-            server = ServingFleet(
-                agent,
-                num_shards=args.shards,
-                max_sessions=args.max_sessions,
-                slo_ms=args.slo_ms,
-                batched=not args.serial,
-            )
-            host, port = server.start()
             control_address = server.control_address
             print(f"Self-hosted serving fleet ({args.shards} shards) on "
                   f"{host}:{port}; control plane on "
                   f"{control_address[0]}:{control_address[1]}")
         else:
-            server = PolicyServer(
-                agent, slo_ms=args.slo_ms, batched=not args.serial
-            )
-            host, port = server.start()
             print(f"Self-hosted policy server on {host}:{port}")
+        if args.online:
+            store_tmp = tempfile.TemporaryDirectory(prefix="decima-online-")
+            manager = OnlineLearningManager(
+                server,
+                CheckpointStore(store_tmp.name),
+                OnlineLearningConfig(
+                    trainer=OnlineTrainerConfig(learning_rate=args.learning_rate),
+                ),
+            )
+            manager.start(interval_seconds=args.update_interval)
+            print(f"Online learning on (lr={args.learning_rate:g})")
     else:
         host, _, port_text = args.connect.partition(":")
         if not port_text:
@@ -109,6 +141,12 @@ def main() -> None:
             min_total_decisions=args.decisions,
             seed=args.seed,
         )
+        if manager is not None:
+            # One final synchronous tick so short runs still get an update in
+            # before the snapshot, then stop the background thread.
+            manager.maybe_update()
+            manager.stop()
+            summary["learning"] = manager.learning_info()
         if control_address is not None:
             # Snapshot the fleet's control plane while the shards are still
             # up: per-shard liveness, placement and broker/SLO accounting.
@@ -118,8 +156,12 @@ def main() -> None:
                     "stats": control.stats(),
                 }
     finally:
+        if manager is not None:
+            manager.stop()
         if server is not None:
             server.stop()
+        if store_tmp is not None:
+            store_tmp.cleanup()
 
     latency = summary["latency_ms"]
     print(f"\n{summary['decisions']} decisions across {summary['num_sessions']} "
@@ -128,6 +170,12 @@ def main() -> None:
     print(f"sources: {summary['sources']}")
     print(f"latency ms: p50={latency['p50']:.2f} p95={latency['p95']:.2f} "
           f"p99={latency['p99']:.2f} (n={latency['count']})")
+    if "learning" in summary:
+        learning = summary["learning"]
+        print(f"learning: policy v{learning['policy_version']}, "
+              f"{learning['num_updates_applied']} updates applied, "
+              f"{learning['num_rollbacks']} rollbacks, "
+              f"buffer {learning['buffer']['num_episodes']} episodes")
     if "control" in summary:
         health = summary["control"]["health"]
         print(f"fleet health: {health['num_healthy']}/{len(health['shards'])} "
@@ -140,6 +188,9 @@ def main() -> None:
         print(f"wrote {args.out}")
     if summary["decisions"] < args.decisions:
         print("ERROR: fleet made fewer decisions than requested", file=sys.stderr)
+        sys.exit(1)
+    if args.online and summary["learning"]["num_updates_applied"] < 1:
+        print("ERROR: online learning applied no updates", file=sys.stderr)
         sys.exit(1)
 
 

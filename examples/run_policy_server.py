@@ -8,26 +8,38 @@ inference across whatever sessions have a request pending.  A per-request SLO
 (``--slo-ms``) guards the policy path — when it breaches, a circuit-breaker
 temporarily routes decisions to the per-session fallback heuristic.
 
-With ``--shards N`` (N > 1) the single server becomes a **sharded fleet**: N
-shard processes, each with its own copy of the agent and its own broker,
-behind a session-hashing router that applies admission control and exposes a
-control plane (health / stats / live reconfiguration) on a second port —
-point ``ControlClient`` (or ``run_policy_loadgen.py --control``) at it.
+The whole deployment is described by one declarative
+:class:`~repro.service.ServingConfig` and constructed by
+:func:`~repro.service.build_server`: with ``--shards N`` (N > 1) that is a
+**sharded fleet** (N shard processes behind a session-hashing router with an
+admission limit and a control plane on a second port), otherwise a single
+threaded or asyncio server.
+
+With ``--online`` the server keeps *learning while it serves*: every decision
+is recorded into a replay buffer, a background trainer runs REINFORCE updates
+over replayed experience, each result is persisted as the next version in a
+:class:`~repro.core.checkpoints.CheckpointStore` (``--store-dir``) and
+hot-swapped into the serving processes under a monotonic policy version — with
+an SLO guard that automatically rolls back to the last good checkpoint if a
+freshly installed version regresses.
 
 Run:  python examples/run_policy_server.py --run-dir runs/tpch     # latest.json
       python examples/run_policy_server.py --checkpoint model.npz  # explicit file
       python examples/run_policy_server.py --executors 20          # untrained net
       python examples/run_policy_server.py --shards 4 --max-sessions 64  # fleet
+      python examples/run_policy_server.py --online --store-dir runs/online
 
 Then drive traffic at it with examples/run_policy_loadgen.py.
 """
 
 import argparse
+import tempfile
 import time
 
-from repro.core import DecimaAgent, DecimaConfig, load_agent, load_latest
+from repro.core import CheckpointStore, DecimaAgent, DecimaConfig, load_agent, load_latest
+from repro.learning import OnlineLearningConfig, OnlineLearningManager, OnlineTrainerConfig
 from repro.schedulers import scheduler_names
-from repro.service import AsyncPolicyServer, ControlClient, PolicyServer, ServingFleet
+from repro.service import ControlClient, ServingConfig, build_server
 
 
 def format_broker_stats(broker: dict) -> str:
@@ -39,6 +51,7 @@ def format_broker_stats(broker: dict) -> str:
         f"{name} {stages[name]['mean_ms']:.2f}" for name in sorted(stages)
     )
     return (
+        f"v{broker.get('policy_version', 1)} "
         f"decisions={broker.get('num_decisions', 0)} "
         f"(fallback {broker.get('num_fallback_decisions', 0)}) | "
         f"features: {cache.get('delta_refreshes', 0)} delta / "
@@ -48,7 +61,7 @@ def format_broker_stats(broker: dict) -> str:
     )
 
 
-def build_agent(args) -> DecimaAgent:
+def build_serving_agent(args) -> DecimaAgent:
     if args.run_dir:
         agent = load_latest(args.run_dir)
         print(f"Loaded latest checkpoint from {args.run_dir} "
@@ -89,32 +102,42 @@ def main() -> None:
                         help="fleet admission limit (concurrent sessions)")
     parser.add_argument("--asyncio", action="store_true",
                         help="use the asyncio transport for a single server")
+    parser.add_argument("--online", action="store_true",
+                        help="learn online: background REINFORCE over served "
+                             "decisions, checkpointed + hot-swapped with "
+                             "automatic SLO rollback")
+    parser.add_argument("--store-dir", default=None,
+                        help="CheckpointStore directory for --online versions "
+                             "(default: a temporary directory)")
+    parser.add_argument("--learning-rate", type=float, default=1e-3,
+                        help="online REINFORCE learning rate (--online)")
+    parser.add_argument("--update-interval", type=float, default=2.0,
+                        help="seconds between online update ticks (--online)")
     parser.add_argument("--stats-interval", type=float, default=30.0,
                         help="seconds between hot-path telemetry lines "
                              "(delta/full feature refreshes, per-stage "
                              "timings); 0 disables")
     args = parser.parse_args()
 
-    agent = build_agent(args)
-    policy_kwargs = dict(
+    agent = build_serving_agent(args)
+    config = ServingConfig(
+        transport="asyncio" if args.asyncio else "threaded",
+        num_shards=args.shards,
+        host=args.host,
+        port=args.port,
+        control_port=args.control_port,
+        max_sessions=args.max_sessions,
         fallback=args.fallback,
         slo_ms=args.slo_ms,
         batched=not args.serial,
         greedy=not args.sample,
+        collect_experience=args.online,
     )
+    server = build_server(config, agent=agent)
+    host, port = server.start()
     mode = "serial" if args.serial else "batched"
     slo = f"{args.slo_ms:.0f} ms SLO -> {args.fallback}" if args.slo_ms else "no SLO"
     if args.shards > 1:
-        server = ServingFleet(
-            agent,
-            num_shards=args.shards,
-            host=args.host,
-            port=args.port,
-            control_port=args.control_port,
-            max_sessions=args.max_sessions,
-            **policy_kwargs,
-        )
-        host, port = server.start()
         control_host, control_port = server.control_address
         limit = args.max_sessions if args.max_sessions is not None else "unlimited"
         print(f"Serving fleet: {args.shards} shards behind {host}:{port} "
@@ -122,26 +145,51 @@ def main() -> None:
         print(f"Control plane (health/stats/reconfigure) on "
               f"{control_host}:{control_port}")
     else:
-        server_class = AsyncPolicyServer if args.asyncio else PolicyServer
-        server = server_class(agent, host=args.host, port=args.port,
-                              **policy_kwargs)
-        host, port = server.start()
         transport = "asyncio" if args.asyncio else "threaded"
         print(f"Policy server listening on {host}:{port} "
               f"({transport} transport, {mode} inference, {slo})")
+
+    manager = None
+    store_tmp = None
+    if args.online:
+        if args.store_dir is None:
+            store_tmp = tempfile.TemporaryDirectory(prefix="decima-online-")
+            store_dir = store_tmp.name
+        else:
+            store_dir = args.store_dir
+        manager = OnlineLearningManager(
+            server,
+            CheckpointStore(store_dir),
+            OnlineLearningConfig(
+                trainer=OnlineTrainerConfig(learning_rate=args.learning_rate),
+            ),
+        )
+        manager.start(interval_seconds=args.update_interval)
+        print(f"Online learning on (lr={args.learning_rate:g}, "
+              f"checkpoint store: {store_dir})")
     print("Press Ctrl-C to stop.")
 
     def print_stats() -> None:
         if args.shards > 1:
             with ControlClient(*server.control_address) as control:
-                shards = control.stats().get("shards", [])
-            for shard in shards:
+                stats = control.stats()
+            for shard in stats.get("shards", []):
                 broker = shard.get("broker")
                 if broker:
                     print(f"[shard {shard.get('index', '?')}] "
                           f"{format_broker_stats(broker)}")
+            learning = stats.get("learning")
+            if learning:
+                print(f"[learning] v{learning['policy_version']} "
+                      f"updates={learning['num_updates_applied']} "
+                      f"rollbacks={learning['num_rollbacks']}")
         else:
             print(f"[stats] {format_broker_stats(server.broker.stats())}")
+            if manager is not None:
+                info = manager.learning_info()
+                print(f"[learning] v{info['policy_version']} "
+                      f"updates={info['num_updates_applied']} "
+                      f"rollbacks={info['num_rollbacks']}")
 
     try:
         next_stats = time.monotonic() + args.stats_interval
@@ -155,7 +203,11 @@ def main() -> None:
         if args.stats_interval > 0:
             print_stats()
     finally:
+        if manager is not None:
+            manager.stop()
         server.stop()
+        if store_tmp is not None:
+            store_tmp.cleanup()
 
 
 if __name__ == "__main__":

@@ -14,7 +14,7 @@ import argparse
 
 import numpy as np
 
-from repro.core import TrainingConfig, save_agent
+from repro.core import CheckpointStore, TrainingConfig, save_agent
 from repro.experiments import (
     format_scalar_table,
     run_scheduler_on_jobs,
@@ -34,6 +34,10 @@ def main() -> None:
     parser.add_argument("--executors", type=int, default=25, help="cluster size")
     parser.add_argument("--interarrival", type=float, default=45.0, help="mean interarrival (s)")
     parser.add_argument("--checkpoint", default="decima_tpch.npz", help="output model path")
+    parser.add_argument("--store-dir", default=None,
+                        help="also save the model as the next version of a "
+                             "CheckpointStore (servable with "
+                             "run_policy_server.py --store-dir)")
     parser.add_argument(
         "--workers",
         type=int,
@@ -62,6 +66,9 @@ def main() -> None:
 
     path = save_agent(agent, args.checkpoint)
     print(f"Saved trained model to {path} ({agent.num_parameters()} parameters)")
+    if args.store_dir:
+        info = CheckpointStore(args.store_dir).save(agent)
+        print(f"Saved checkpoint version {info.version} to {info.path}")
 
     # Evaluate on an unseen arrival sequence.
     rng = np.random.default_rng(1234)

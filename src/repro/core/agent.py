@@ -362,6 +362,60 @@ class DecimaAgent(Module, Scheduler):
         self.stage_timings.add(t1 - t0, t2 - t1, t3 - t2, t4 - t3)
         return result
 
+    def score_action(
+        self,
+        observation: Observation,
+        node: Node,
+        parallelism_limit: int,
+        graph_cache: Optional[GraphCache] = None,
+    ) -> tuple[Tensor, Tensor]:
+        """Log-probability and entropy of a *given* action, on the autograd graph.
+
+        The online-learning trainer replays recorded serving decisions: the
+        action was chosen greedily at serve time, and this scores it under the
+        current parameters exactly as the training path of :meth:`act` would
+        have — same masked softmax over schedulable nodes, same limit head —
+        so REINFORCE gradients flow through the replayed choice.
+
+        ``node`` must be one of the observation's schedulable nodes (by object
+        identity) and ``parallelism_limit`` one of :meth:`candidate_limits`
+        for its job.
+        """
+        if not observation.schedulable_nodes:
+            raise ValueError("observation has no schedulable nodes to score")
+        graph = self.build_features(observation, graph_cache=graph_cache)
+        embeddings = self.gnn(graph)
+        node_logits = self.policy.node_logits(graph, embeddings)
+        node_mask = graph.schedulable_mask
+        global_row = next(
+            (row for row, candidate in enumerate(graph.nodes) if candidate is node),
+            None,
+        )
+        if global_row is None or not node_mask[global_row]:
+            raise ValueError("node is not a schedulable node of this observation")
+        node_log_probs = masked_log_softmax(node_logits, node_mask)
+        log_prob = node_log_probs[global_row]
+        entropy = entropy_from_log_probs(node_log_probs, node_mask)
+        if self.config.use_parallelism_control:
+            job_index = int(graph.job_ids[global_row])
+            job = graph.jobs[job_index]
+            limits = self.candidate_limits(job)
+            matches = np.flatnonzero(limits == int(parallelism_limit))
+            if matches.size == 0:
+                raise ValueError(
+                    f"limit {parallelism_limit} is not a candidate for this job "
+                    f"(candidates: {limits.tolist()})"
+                )
+            limit_inputs = self._limit_inputs(limits)
+            limit_logits = self.policy.limit_logits(
+                graph, embeddings, job_index, limit_inputs
+            )
+            limit_mask = np.ones(len(limits), dtype=bool)
+            limit_log_probs = masked_log_softmax(limit_logits, limit_mask)
+            log_prob = log_prob + limit_log_probs[int(matches[0])]
+            entropy = entropy + entropy_from_log_probs(limit_log_probs, limit_mask)
+        return log_prob, entropy
+
     def _select_stage(
         self,
         graph: GraphFeatures,

@@ -1,11 +1,20 @@
 """Saving, loading and rebuilding Decima models.
 
-Two serialization forms live here: npz checkpoints on disk
-(:func:`save_agent` / :func:`load_agent_weights`) and in-memory
-:class:`AgentSpec` records that let another process reconstruct an
-architecturally identical agent (used by the parallel rollout workers, which
-rebuild the agent once and then refresh its weights from ``state_dict``
-payloads every iteration).
+Three serialization forms live here:
+
+* :class:`CheckpointStore` — the checkpoint API: a directory of versioned
+  npz checkpoints with monotonic version ids, fingerprint-verified loads, an
+  atomically updated ``latest.json`` pointer and bounded retention.  Training
+  runs save into a store; the serving layer and the online-learning loop load
+  and append to the same store.
+* npz checkpoints on disk via the original free functions (:func:`save_agent`
+  / :func:`load_agent` / :func:`load_latest` / :func:`load_agent_weights`).
+  These predate the store and are kept as thin compatibility wrappers — new
+  code should construct a :class:`CheckpointStore`.
+* in-memory :class:`AgentSpec` records that let another process reconstruct
+  an architecturally identical agent (used by the parallel rollout workers
+  and the fleet's shard processes, which rebuild the agent once and then
+  refresh its weights from ``state_dict`` payloads).
 """
 
 from __future__ import annotations
@@ -13,6 +22,8 @@ from __future__ import annotations
 import copy
 import hashlib
 import json
+import os
+import re
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Optional, Union
@@ -24,6 +35,8 @@ from .features import FeatureConfig
 from .nn import Module
 
 __all__ = [
+    "CheckpointInfo",
+    "CheckpointStore",
     "save_agent",
     "load_agent",
     "load_agent_weights",
@@ -36,8 +49,13 @@ __all__ = [
 ]
 
 # File written next to every checkpoint so tools can find the newest one
-# without knowing its name (``load_latest`` reads it).
+# without knowing its name (``load_latest`` and the store read it).
 LATEST_POINTER = "latest.json"
+
+# Store checkpoints are named ckpt-<version>.npz with a fixed-width version so
+# lexicographic and numeric order agree.
+_CHECKPOINT_PREFIX = "ckpt-"
+_CHECKPOINT_PATTERN = re.compile(r"^ckpt-(\d{6,})\.npz$")
 
 
 def parameter_fingerprint(model: Module, decimals: int = 5) -> str:
@@ -220,3 +238,156 @@ def load_agent_weights(agent: DecimaAgent, path: Union[str, Path]) -> DecimaAgen
     state = {key: archive[key] for key in archive.files if key != "__meta__"}
     agent.load_state_dict(state)
     return agent
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """One versioned checkpoint inside a :class:`CheckpointStore`."""
+
+    version: int
+    path: Path
+    fingerprint: str
+
+
+class CheckpointStore:
+    """Directory of versioned agent checkpoints with an atomic latest pointer.
+
+    Checkpoints are named ``ckpt-<version>.npz`` with strictly increasing
+    version ids, so concurrent readers can always tell which of two
+    checkpoints is newer.  ``latest.json`` is rewritten atomically (tmp file +
+    ``os.replace``) after every save and stays readable by the legacy
+    :func:`load_latest` — the store's pointer is a superset of the old format
+    (it adds a ``version`` entry).
+
+    ``retain`` bounds disk usage: after each save, versions older than the
+    newest ``retain`` are deleted.  Pass ``retain=None`` to keep everything.
+    """
+
+    def __init__(self, directory: Union[str, Path], retain: Optional[int] = 8):
+        if retain is not None and retain < 1:
+            raise ValueError(f"retain must be >= 1 or None, got {retain}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.retain = retain
+
+    # -- enumeration ------------------------------------------------------
+
+    def versions(self) -> list[int]:
+        """Sorted version ids of every checkpoint currently on disk."""
+        found = []
+        for entry in self.directory.iterdir():
+            match = _CHECKPOINT_PATTERN.match(entry.name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def latest_version(self) -> Optional[int]:
+        """Newest version on disk, or None for an empty store."""
+        versions = self.versions()
+        return versions[-1] if versions else None
+
+    def path_for(self, version: int) -> Path:
+        return self.directory / f"{_CHECKPOINT_PREFIX}{version:06d}.npz"
+
+    def info(self, version: Optional[int] = None) -> CheckpointInfo:
+        """Metadata for ``version`` (default: latest) without loading weights."""
+        version = self._resolve_version(version)
+        path = self.path_for(version)
+        archive = np.load(path, allow_pickle=False)
+        meta = _read_meta(archive)
+        return CheckpointInfo(
+            version=version, path=path, fingerprint=meta.get("fingerprint", "")
+        )
+
+    # -- save / load ------------------------------------------------------
+
+    def save(self, agent: DecimaAgent) -> CheckpointInfo:
+        """Write ``agent`` as the next version and move the latest pointer.
+
+        The checkpoint file lands fully before the pointer flips, and the
+        pointer flip itself is an ``os.replace`` — a crash between the two
+        leaves the store pointing at the previous (complete) version.
+        """
+        latest = self.latest_version()
+        version = 1 if latest is None else latest + 1
+        path = save_agent(agent, self.path_for(version), update_latest=False)
+        fingerprint = parameter_fingerprint(agent)
+        self._write_pointer(path.name, fingerprint, version)
+        self._collect_garbage(version)
+        return CheckpointInfo(version=version, path=path, fingerprint=fingerprint)
+
+    def load(self, version: Optional[int] = None) -> DecimaAgent:
+        """Load ``version`` (default: latest), verifying its fingerprint.
+
+        The fingerprint stored inside the npz metadata must match the loaded
+        weights; for the latest version, the pointer's fingerprint is checked
+        too, so a file swapped behind the pointer's back fails loudly.
+        """
+        resolved = self._resolve_version(version)
+        path = self.path_for(resolved)
+        agent = load_agent(path)
+        archive = np.load(path, allow_pickle=False)
+        meta = _read_meta(archive)
+        expected = meta.get("fingerprint")
+        actual = parameter_fingerprint(agent)
+        if expected is not None and actual != expected:
+            raise ValueError(
+                f"checkpoint {path.name!r} does not match its recorded "
+                f"fingerprint (expected {expected}, loaded {actual})"
+            )
+        if version is None:
+            pointer = self._read_pointer()
+            if pointer is not None and pointer.get("fingerprint") not in (None, actual):
+                raise ValueError(
+                    f"checkpoint {path.name!r} does not match the "
+                    f"{LATEST_POINTER} fingerprint — was the file replaced "
+                    "without updating the pointer?"
+                )
+        return agent
+
+    def load_state(self, version: Optional[int] = None) -> dict[str, np.ndarray]:
+        """Raw ``state_dict`` payload of ``version`` (default: latest)."""
+        version = self._resolve_version(version)
+        archive = np.load(self.path_for(version), allow_pickle=False)
+        return {key: archive[key] for key in archive.files if key != "__meta__"}
+
+    # -- internals --------------------------------------------------------
+
+    def _resolve_version(self, version: Optional[int]) -> int:
+        if version is None:
+            latest = self.latest_version()
+            if latest is None:
+                raise FileNotFoundError(
+                    f"checkpoint store {self.directory} is empty — save() first"
+                )
+            return latest
+        if not self.path_for(version).exists():
+            raise FileNotFoundError(
+                f"checkpoint version {version} not found in {self.directory} "
+                f"(have {self.versions() or 'none'})"
+            )
+        return version
+
+    def _write_pointer(self, name: str, fingerprint: str, version: int) -> None:
+        pointer = self.directory / LATEST_POINTER
+        payload = {"checkpoint": name, "fingerprint": fingerprint, "version": version}
+        tmp = pointer.with_name(pointer.name + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, pointer)
+
+    def _read_pointer(self) -> Optional[dict]:
+        pointer = self.directory / LATEST_POINTER
+        if not pointer.exists():
+            return None
+        try:
+            payload = json.loads(pointer.read_text())
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{pointer} is corrupt: {error}") from None
+        return payload if isinstance(payload, dict) else None
+
+    def _collect_garbage(self, newest: int) -> None:
+        if self.retain is None:
+            return
+        for version in self.versions():
+            if version <= newest - self.retain:
+                self.path_for(version).unlink(missing_ok=True)

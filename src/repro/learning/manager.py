@@ -1,0 +1,332 @@
+"""The online-learning control loop: buffer → trainer → store → hot-swap.
+
+:class:`OnlineLearningManager` closes Decima's loop around a live serving
+target.  One ``maybe_update()`` tick:
+
+1. **pump** — drain newly recorded experience out of the target (the broker's
+   ``decision_tap`` collector in-process, or every fleet shard's collector
+   over the shard command pipes) into the bounded :class:`ReplayBuffer`;
+2. **guard** — if a freshly installed version is still on probation, check
+   the SLO counters: not enough decisions yet → wait; circuit-breaker opens
+   regressed → **roll back** to the last good checkpoint (republished under a
+   *new* monotonic policy version, so per-session version sequences never go
+   backwards); clean record → promote it to last-good;
+3. **update** — when enough episodes are buffered, run one background
+   REINFORCE step (:mod:`.trainer`), persist the result as the next version
+   in the :class:`~repro.core.checkpoints.CheckpointStore`, and hot-swap it
+   into the target (brokers apply the swap atomically between decision
+   rounds, so no session is ever dropped).
+
+The manager never touches the serving agent directly: it owns a shadow agent
+for checkpointing, ships plain ``state_dict`` payloads, and the serving side
+applies them at its own safe point.  ``start()`` runs the tick on a
+background thread; tests and the differential harness call
+``maybe_update()`` inline for determinism.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.checkpoints import CheckpointStore, agent_spec, build_agent
+from ..service.batcher import RequestBroker
+from .buffer import ExperienceCollector, ReplayBuffer
+from .trainer import OnlineReinforceTrainer, OnlineTrainerConfig, OnlineTrainerPool
+
+__all__ = ["OnlineLearningConfig", "OnlineLearningManager", "RolloutGuard"]
+
+
+class RolloutGuard:
+    """SLO gate for freshly installed policy versions.
+
+    Armed with a counter snapshot at install time; the verdict compares the
+    current counters against it.  Decision-counted (like the breaker itself)
+    so tests are deterministic: ``min_decisions`` served on the new version
+    with at most ``max_new_breaker_opens`` fresh breaker opens is a pass.
+    """
+
+    def __init__(self, min_decisions: int = 20, max_new_breaker_opens: int = 0):
+        if min_decisions < 1:
+            raise ValueError("min_decisions must be >= 1")
+        if max_new_breaker_opens < 0:
+            raise ValueError("max_new_breaker_opens must be >= 0")
+        self.min_decisions = int(min_decisions)
+        self.max_new_breaker_opens = int(max_new_breaker_opens)
+        self._armed: Optional[dict] = None
+
+    @property
+    def armed(self) -> bool:
+        return self._armed is not None
+
+    def arm(self, snapshot: dict) -> None:
+        self._armed = dict(snapshot)
+
+    def disarm(self) -> None:
+        self._armed = None
+
+    def verdict(self, snapshot: dict) -> str:
+        """``"pending"`` | ``"pass"`` | ``"fail"`` for the armed version."""
+        if self._armed is None:
+            return "pass"
+        decided = snapshot["num_decisions"] - self._armed["num_decisions"]
+        if decided < self.min_decisions:
+            return "pending"
+        new_opens = snapshot["num_breaker_opens"] - self._armed["num_breaker_opens"]
+        if new_opens > self.max_new_breaker_opens:
+            return "fail"
+        return "pass"
+
+
+@dataclass
+class OnlineLearningConfig:
+    """Knobs of the manager's control loop."""
+
+    episodes_per_update: int = 4
+    segment_steps: int = 8
+    max_episodes: int = 256
+    seed: int = 0
+    # Guard: decisions a new version must serve cleanly before promotion.
+    guard_min_decisions: int = 20
+    guard_max_new_breaker_opens: int = 0
+    # Run the REINFORCE update in a separate process (the serving deployment
+    # default) or inline (deterministic harnesses/tests).
+    trainer_process: bool = True
+    interval_seconds: float = 2.0
+    trainer: OnlineTrainerConfig = field(default_factory=OnlineTrainerConfig)
+
+
+class OnlineLearningManager:
+    """Drive background learning + checkpoint rollout for one serving target.
+
+    ``target`` is either a fleet (anything with ``drain_experience`` /
+    ``install_policy`` / ``shard_stats``, i.e.
+    :class:`~repro.service.fleet.ServingFleet`) or an in-process broker
+    owner: a :class:`~repro.service.server.ServerCore` subclass or a bare
+    :class:`~repro.service.batcher.RequestBroker` (the differential
+    harness).  In-process targets get an experience collector chained onto
+    their ``decision_tap`` (preserving any tap already installed, e.g. the
+    verification recorder's).
+    """
+
+    def __init__(
+        self,
+        target,
+        store: CheckpointStore,
+        config: Optional[OnlineLearningConfig] = None,
+    ):
+        self.target = target
+        self.store = store
+        self.config = config if config is not None else OnlineLearningConfig()
+        self._is_fleet = hasattr(target, "drain_experience")
+        self._collector: Optional[ExperienceCollector] = None
+        if self._is_fleet:
+            spec, state = target._spec, target._state
+            self._broker: Optional[RequestBroker] = None
+            self._serving_version = 1  # shards construct their brokers at 1
+        else:
+            broker = target if isinstance(target, RequestBroker) else target.broker
+            self._broker = broker
+            spec, state = agent_spec(broker.agent), broker.agent.state_dict()
+            self._serving_version = broker.policy_version
+            self._collector = ExperienceCollector()
+            existing = broker.decision_tap
+            if existing is None:
+                broker.decision_tap = self._collector
+            else:
+                def chained(request, result, _tap=existing, _collector=self._collector):
+                    _tap(request, result)
+                    _collector(request, result)
+
+                broker.decision_tap = chained
+        self._spec = spec
+        # Shadow agent: holds whatever weights the manager last published;
+        # used for checkpoint saves (the store fingerprints real agents).
+        self._shadow = build_agent(spec, state)
+        self._current_state = self._shadow.state_dict()
+        # The serving weights are the baseline: persist them so there is
+        # always a checkpoint to roll back to.
+        info = self.store.save(self._shadow)
+        self.current_checkpoint_version = info.version
+        self.previous_checkpoint_version: Optional[int] = None
+        self._last_good_state = self._current_state
+        self._last_good_checkpoint = info.version
+        self.buffer = ReplayBuffer(
+            segment_steps=self.config.segment_steps,
+            max_episodes=self.config.max_episodes,
+        )
+        self.guard = RolloutGuard(
+            min_decisions=self.config.guard_min_decisions,
+            max_new_breaker_opens=self.config.guard_max_new_breaker_opens,
+        )
+        if self.config.trainer_process:
+            self.trainer = OnlineTrainerPool(spec, self.config.trainer)
+        else:
+            self.trainer = OnlineReinforceTrainer(spec, self.config.trainer)
+        self._rng = np.random.default_rng(self.config.seed)
+        self.num_updates_applied = 0
+        self.num_rollbacks = 0
+        self.last_update_stats: Optional[dict] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._publish_learning_info()
+
+    # ------------------------------------------------------------ target I/O
+    def _drain(self) -> list:
+        if self._is_fleet:
+            return self.target.drain_experience()
+        assert self._collector is not None
+        return self._collector.drain()
+
+    def _install(self, state: dict, version: int) -> None:
+        if self._is_fleet:
+            self.target.install_policy(state, version)
+        elif self._broker is self.target:
+            self._broker.install(state, version)
+        else:
+            self.target.install_policy(state, version)
+        self._serving_version = version
+
+    def _slo_snapshot(self) -> dict:
+        """Aggregate decision/breaker counters across the whole target."""
+        totals = {"num_decisions": 0, "num_slo_breaches": 0, "num_breaker_opens": 0}
+        if self._is_fleet:
+            for entry in self.target.shard_stats():
+                if not entry:
+                    continue
+                broker = entry.get("broker") or {}
+                totals["num_decisions"] += int(broker.get("num_decisions", 0))
+                totals["num_slo_breaches"] += int(broker.get("num_slo_breaches", 0))
+                breaker = broker.get("breaker") or {}
+                totals["num_breaker_opens"] += int(breaker.get("num_opens", 0))
+            return totals
+        assert self._broker is not None
+        totals["num_decisions"] = self._broker.num_decisions
+        totals["num_slo_breaches"] = self._broker.num_slo_breaches
+        if self._broker.breaker is not None:
+            totals["num_breaker_opens"] = self._broker.breaker.num_opens
+        return totals
+
+    def _publish_learning_info(self) -> None:
+        router = getattr(self.target, "router", None)
+        if router is not None:
+            router.learning_info = self.learning_info()
+
+    # ------------------------------------------------------------- the loop
+    def pump(self) -> int:
+        """Drain target experience into the buffer; returns episodes cut."""
+        return self.buffer.add_steps(self._drain())
+
+    def maybe_update(self) -> dict:
+        """One control-loop tick; returns what happened (for observability)."""
+        episodes_cut = self.pump()
+        status: dict = {
+            "episodes_cut": episodes_cut,
+            "buffer_episodes": len(self.buffer),
+            "policy_version": self._serving_version,
+            "action": "idle",
+        }
+        if self.guard.armed:
+            verdict = self.guard.verdict(self._slo_snapshot())
+            if verdict == "pending":
+                status["action"] = "guard-pending"
+                return status
+            if verdict == "fail":
+                self.rollback()
+                status["action"] = "rollback"
+                status["policy_version"] = self._serving_version
+                return status
+            # Clean probation: the running version becomes the rollback
+            # anchor for the next one.
+            self.guard.disarm()
+            self._last_good_state = self._current_state
+            self._last_good_checkpoint = self.current_checkpoint_version
+        if len(self.buffer) < self.config.episodes_per_update:
+            return status
+        episodes = self.buffer.sample(self.config.episodes_per_update, self._rng)
+        new_state, stats = self.trainer.update(self._current_state, episodes)
+        self.last_update_stats = stats
+        self._shadow.load_state_dict(new_state)
+        info = self.store.save(self._shadow)
+        self.previous_checkpoint_version = self.current_checkpoint_version
+        self.current_checkpoint_version = info.version
+        self._current_state = new_state
+        snapshot = self._slo_snapshot()
+        self._install(new_state, self._serving_version + 1)
+        self.guard.arm(snapshot)
+        self.num_updates_applied += 1
+        status["action"] = "update"
+        status["policy_version"] = self._serving_version
+        status["checkpoint_version"] = info.version
+        status["update_stats"] = stats
+        self._publish_learning_info()
+        return status
+
+    def rollback(self) -> int:
+        """Republish the last good weights under a fresh policy version."""
+        self.guard.disarm()
+        self._current_state = self._last_good_state
+        self.previous_checkpoint_version = self.current_checkpoint_version
+        self.current_checkpoint_version = self._last_good_checkpoint
+        self._install(self._last_good_state, self._serving_version + 1)
+        self.num_rollbacks += 1
+        self._publish_learning_info()
+        return self._serving_version
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self, interval_seconds: Optional[float] = None) -> None:
+        """Run :meth:`maybe_update` on a background thread until :meth:`stop`."""
+        if self._thread is not None:
+            raise RuntimeError("manager already started")
+        interval = (
+            self.config.interval_seconds
+            if interval_seconds is None
+            else float(interval_seconds)
+        )
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.wait(timeout=interval):
+                try:
+                    self.maybe_update()
+                except Exception:  # noqa: BLE001 - learning must not kill serving
+                    continue
+
+        self._thread = threading.Thread(
+            target=loop, name="online-learning-manager", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.trainer.close()
+
+    def __enter__(self) -> "OnlineLearningManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------- reporting
+    @property
+    def policy_version(self) -> int:
+        return self._serving_version
+
+    def learning_info(self) -> dict:
+        """Control-plane payload: versions, rollbacks, buffer occupancy."""
+        return {
+            "policy_version": self._serving_version,
+            "current_checkpoint_version": self.current_checkpoint_version,
+            "previous_checkpoint_version": self.previous_checkpoint_version,
+            "last_good_checkpoint_version": self._last_good_checkpoint,
+            "num_updates_applied": self.num_updates_applied,
+            "num_rollbacks": self.num_rollbacks,
+            "guard_armed": self.guard.armed,
+            "buffer": self.buffer.stats(),
+        }

@@ -1,0 +1,241 @@
+"""Background REINFORCE over replayed serving experience.
+
+The update rule is the paper's policy gradient (§5.3, Algorithm 1) applied to
+experience the serving path already produced instead of freshly collected
+rollouts.  Rewards are recomputed from consecutive experience snapshots with
+the simulator's own shaping — ``r_k = -(t_{k+1} - t_k) · J_k · scale``, the
+time-integrated number of jobs in the system whose sum telescopes to the
+(scaled) total job completion time — so the trainer needs nothing from the
+client clusters beyond what every ``decide`` request already carries.
+
+Replay runs each recorded segment's snapshots through a fresh
+:class:`~repro.service.session.SessionState` (the same reconciliation code
+the servers run) and scores the recorded action under the *current*
+parameters via :meth:`DecimaAgent.score_action`, which keeps the log-prob on
+the autograd graph.  Only ``source == "policy"`` steps contribute gradient
+terms — fallback and noop answers still contribute their time deltas to the
+returns, but there is no policy choice to differentiate through.
+
+Two trainer fronts share the same ``update(state, episodes)`` contract:
+
+* :class:`OnlineReinforceTrainer` — in-process, used by the differential
+  harness and tests (no process overhead, fully deterministic);
+* :class:`OnlineTrainerPool` — a one-worker
+  :class:`~repro.core.parallel.PipeWorkerPool` running the identical update
+  in a background *process*, so replay forwards and backwards never steal
+  cycles from the serving path (the paper's agent/trainer split).
+
+Both keep the Adam optimizer alive across updates, so its moment estimates
+accumulate exactly as in offline training.  With ``learning_rate=0`` the
+Adam step is bit-neutral (``param - 0 · m̂/(√v̂+ε)`` preserves every bit),
+which is what the ``frozen_vs_online`` differential pair pins.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.agent import DecimaAgent
+from ..core.checkpoints import AgentSpec, build_agent
+from ..core.nn import Adam
+from ..core.parallel import PipeWorkerPool
+from ..service.session import SessionState
+from .buffer import EpisodeRecord
+
+__all__ = [
+    "OnlineReinforceTrainer",
+    "OnlineTrainerConfig",
+    "OnlineTrainerPool",
+    "episode_rewards",
+    "reinforce_update",
+    "replay_episode",
+]
+
+
+@dataclass
+class OnlineTrainerConfig:
+    """Hyper-parameters of the background update (picklable)."""
+
+    learning_rate: float = 1e-3
+    entropy_weight: float = 0.0
+    # Matches SimulatorConfig.reward_scale so online returns live on the same
+    # scale as offline training's.
+    reward_scale: float = 1e-3
+
+
+def episode_rewards(steps, reward_scale: float) -> np.ndarray:
+    """Per-step rewards recomputed from consecutive snapshots.
+
+    The last step has no successor timestamp inside the segment, so its
+    reward is zero — segments are long enough (``ReplayBuffer.segment_steps``)
+    that the truncation bias is small.
+    """
+    rewards = np.zeros(len(steps))
+    for index in range(len(steps) - 1):
+        delta = float(steps[index + 1].wall_time) - float(steps[index].wall_time)
+        rewards[index] = -delta * float(steps[index].num_jobs_in_system) * reward_scale
+    return rewards
+
+
+def replay_episode(agent: DecimaAgent, episode: EpisodeRecord) -> list:
+    """Score each recorded policy action under the current parameters.
+
+    Returns one entry per step: ``(log_prob, entropy)`` autograd tensors for
+    scoreable policy steps, ``None`` for noop/fallback steps (and for the
+    rare step whose recorded action is no longer a valid choice after
+    replay — e.g. a snapshot raced a job completion).
+    """
+    first = episode.steps[0]
+    session = SessionState(
+        session_id=f"replay-{episode.session_id}",
+        num_executors=int(first.snapshot.get("total_executors", agent.total_executors)),
+    )
+    scored = []
+    for step in episode.steps:
+        observation = session.observation_from_snapshot(step.snapshot)
+        if step.action is None or step.source != "policy":
+            scored.append(None)
+            continue
+        try:
+            node = session.resolve_node(step.action["job_id"], step.action["node_id"])
+            scored.append(
+                agent.score_action(
+                    observation,
+                    node,
+                    step.action["limit"],
+                    graph_cache=session.graph_cache,
+                )
+            )
+        except (KeyError, ValueError):
+            scored.append(None)
+    return scored
+
+
+def reinforce_update(
+    agent: DecimaAgent,
+    optimizer: Adam,
+    episodes: list,
+    config: OnlineTrainerConfig,
+) -> dict:
+    """One REINFORCE step over replayed serving episodes; returns stats.
+
+    Mirrors the offline trainer's update: per-episode losses backward into
+    summed gradients, the sum is divided by the episode count, one Adam step,
+    gradients cleared.  The baseline is each episode's mean return (the
+    offline time-aligned baseline needs same-arrival-sequence episode groups,
+    which live serving traffic does not provide).
+    """
+    agent.zero_grad()
+    num_terms = 0
+    total_return = 0.0
+    for episode in episodes:
+        rewards = episode_rewards(episode.steps, config.reward_scale)
+        returns = np.cumsum(rewards[::-1])[::-1]
+        baseline = float(returns.mean()) if returns.size else 0.0
+        advantages = returns - baseline
+        loss = None
+        for pair, advantage in zip(replay_episode(agent, episode), advantages):
+            if pair is None:
+                continue
+            log_prob, entropy = pair
+            term = log_prob * float(-advantage)
+            term = term - entropy * float(config.entropy_weight)
+            loss = term if loss is None else loss + term
+            num_terms += 1
+        if loss is not None:
+            loss.backward()
+        total_return += float(returns[0]) if returns.size else 0.0
+    num_episodes = max(len(episodes), 1)
+    optimizer.apply_gradients(
+        [
+            None if parameter.grad is None else parameter.grad / num_episodes
+            for parameter in agent.parameters()
+        ]
+    )
+    agent.zero_grad()
+    agent.reset_graph_cache()
+    return {
+        "num_episodes": len(episodes),
+        "num_policy_terms": num_terms,
+        "mean_return": total_return / num_episodes,
+        "learning_rate": config.learning_rate,
+    }
+
+
+class OnlineReinforceTrainer:
+    """In-process trainer: one shadow agent + persistent Adam moments."""
+
+    def __init__(self, spec: AgentSpec, config: Optional[OnlineTrainerConfig] = None):
+        self.config = config if config is not None else OnlineTrainerConfig()
+        self.agent = build_agent(spec)
+        self.optimizer = Adam(
+            self.agent.parameters(), learning_rate=self.config.learning_rate
+        )
+
+    def update(self, state: dict, episodes: list) -> tuple[dict, dict]:
+        """Refresh weights from ``state``, run one update, return new weights."""
+        self.agent.load_state_dict(state)
+        stats = reinforce_update(self.agent, self.optimizer, episodes, self.config)
+        return self.agent.state_dict(), stats
+
+    def close(self) -> None:  # symmetric with OnlineTrainerPool
+        pass
+
+
+def _online_trainer_main(conn, spec: AgentSpec, config: OnlineTrainerConfig) -> None:
+    """Worker loop of the trainer process (PipeWorkerPool protocol).
+
+    * ``update``: payload ``(state_dict, [EpisodeRecord])`` →
+      ``(new_state_dict, stats)``.
+    * ``close``: exit.
+    """
+    trainer = OnlineReinforceTrainer(spec, config)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            return
+        command, payload = message
+        if command == "close":
+            return
+        try:
+            if command == "update":
+                state, episodes = payload
+                reply = trainer.update(state, episodes)
+            else:
+                raise ValueError(f"unknown trainer command {command!r}")
+            conn.send(("ok", reply))
+        except Exception:
+            try:
+                conn.send(("error", traceback.format_exc()))
+            except (BrokenPipeError, OSError):
+                return
+
+
+class OnlineTrainerPool(PipeWorkerPool):
+    """The background trainer process (same update, off the serving path)."""
+
+    worker_description = "online trainer"
+
+    def __init__(
+        self,
+        spec: AgentSpec,
+        config: Optional[OnlineTrainerConfig] = None,
+        start_method: Optional[str] = None,
+    ):
+        config = config if config is not None else OnlineTrainerConfig()
+        super().__init__(
+            num_workers=1,
+            target=_online_trainer_main,
+            worker_args=lambda index: (spec, config),
+            start_method=start_method,
+        )
+
+    def update(self, state: dict, episodes: list) -> tuple[dict, dict]:
+        """Ship weights + episodes to the trainer process; get both back."""
+        (reply,) = self.run("update", [(state, episodes)])
+        return reply

@@ -47,6 +47,7 @@ from .batcher import (
     RequestBroker,
 )
 from .client import ControlClient, PolicyClient, decode_action, drive_episode
+from .config import ServingConfig, build_server
 from .fleet import ServingFleet
 from .loadgen import run_load
 from .protocol import (
@@ -73,7 +74,9 @@ __all__ = [
     "drive_episode",
     "run_load",
     "ProtocolError",
+    "ServingConfig",
     "ServingFleet",
+    "build_server",
     "ShardRouter",
     "ShardState",
     "shard_for_session",

@@ -26,6 +26,7 @@ alone, in any batch composition, or through the serial reference path
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -191,6 +192,10 @@ class DecisionResult:
     action: Optional[Action]
     source: str  # "policy" | "fallback" | "noop"
     latency_seconds: float
+    # The broker's policy version that answered this decision — the
+    # online-learning audit-trail key (every decision maps to the exact
+    # weights that produced it, across hot-swaps and rollbacks).
+    policy_version: int = 1
 
 
 class RequestBroker:
@@ -203,11 +208,21 @@ class RequestBroker:
         greedy: bool = True,
         breaker: Optional[CircuitBreaker] = None,
         decision_tap: Optional[Callable[[DecisionRequest, "DecisionResult"], None]] = None,
+        policy_version: int = 1,
     ):
         self.agent = agent
         self.batched = bool(batched)
         self.greedy = bool(greedy)
         self.breaker = breaker
+        # Monotonic id of the weights currently answering decisions.  Swaps
+        # arrive from the online-learning manager on another thread via
+        # install(); they are staged under the lock and applied at the top of
+        # decide(), which runs serially on the dispatch thread — so weights
+        # never change mid-forward and no in-flight session is dropped.
+        self.policy_version = int(policy_version)
+        self.num_policy_swaps = 0
+        self._swap_lock = threading.Lock()
+        self._pending_swap: Optional[tuple[dict, int]] = None
         # Per-decision observer (the verification harness's session decision
         # tap): called once per answered request, in request order, with the
         # request and its result.  Must not mutate either.
@@ -231,6 +246,42 @@ class RequestBroker:
         self.graph_full_refreshes = 0
         self.graph_rebuilds = 0
         self._cache_marks: dict[int, tuple[int, int, int]] = {}
+
+    # ----------------------------------------------------------------- swaps
+    def install(self, state: dict, version: int) -> None:
+        """Stage a new policy (``state_dict`` payload) for hot-swap.
+
+        Thread-safe; returns immediately.  The swap is applied atomically at
+        the start of the next decision round.  Versions must be strictly
+        monotonic — a stale install (version not above both the serving and
+        any already-staged version) is rejected, so rollbacks re-publish old
+        weights under a *new* version rather than rewinding the counter.
+        """
+        version = int(version)
+        with self._swap_lock:
+            staged = self._pending_swap[1] if self._pending_swap else self.policy_version
+            if version <= max(self.policy_version, staged):
+                raise ValueError(
+                    f"policy version must be monotonic: got {version}, "
+                    f"serving {self.policy_version}"
+                    + (f" with {staged} already staged" if staged != self.policy_version else "")
+                )
+            self._pending_swap = (state, version)
+
+    @property
+    def pending_policy_version(self) -> Optional[int]:
+        with self._swap_lock:
+            return self._pending_swap[1] if self._pending_swap else None
+
+    def _apply_pending_swap(self) -> None:
+        with self._swap_lock:
+            pending, self._pending_swap = self._pending_swap, None
+        if pending is None:
+            return
+        state, version = pending
+        self.agent.load_state_dict(state)
+        self.policy_version = version
+        self.num_policy_swaps += 1
 
     # ----------------------------------------------------------------- policy
     def _policy_batched(
@@ -289,6 +340,7 @@ class RequestBroker:
         """
         if len({id(request.session) for request in requests}) != len(requests):
             raise ValueError("a batch must not contain two requests from one session")
+        self._apply_pending_swap()
         results: list[Optional[DecisionResult]] = [None] * len(requests)
         self.num_batches += 1
         self.max_batch_size = max(self.max_batch_size, len(requests))
@@ -343,6 +395,12 @@ class RequestBroker:
         requests: Sequence[DecisionRequest],
         results: Sequence[Optional[DecisionResult]],
     ) -> list[DecisionResult]:
+        for request, result in zip(requests, results):
+            if result is not None:
+                # Stamp the audit-trail version on every answer (noop too —
+                # the client still learns which weights were serving).
+                result.policy_version = self.policy_version
+                request.session.last_policy_version = self.policy_version
         for result in results:
             if result is None or result.source == "noop":
                 continue
@@ -378,6 +436,9 @@ class RequestBroker:
         return {
             "batched": self.batched,
             "greedy": self.greedy,
+            "policy_version": self.policy_version,
+            "pending_policy_version": self.pending_policy_version,
+            "num_policy_swaps": self.num_policy_swaps,
             "num_batches": self.num_batches,
             "max_batch_size": self.max_batch_size,
             "num_decisions": self.num_decisions,

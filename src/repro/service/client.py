@@ -21,7 +21,13 @@ from typing import Iterable, Optional
 
 from ..simulator.environment import Action, Observation, SchedulingEnvironment
 from ..simulator.jobdag import JobDAG
-from .protocol import ProtocolError, encode_observation, read_message, write_message
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    encode_observation,
+    read_message,
+    write_message,
+)
 
 __all__ = ["ControlClient", "PolicyClient", "decode_action", "drive_episode"]
 
@@ -76,6 +82,11 @@ class PolicyClient(_LineClient):
     def __init__(self, host: str, port: int, timeout: Optional[float] = 30.0):
         super().__init__(host, port, timeout=timeout)
         self.session_id: Optional[str] = None
+        # Filled in by hello()'s welcome: the negotiated protocol version and
+        # the newest serving policy version seen on any reply (None against a
+        # protocol-1 server, which never sends either field).
+        self.protocol: Optional[int] = None
+        self.policy_version: Optional[int] = None
 
     # ------------------------------------------------------------------- API
     def hello(
@@ -85,7 +96,11 @@ class PolicyClient(_LineClient):
         seed: int = 0,
         fallback: Optional[str] = None,
     ) -> dict:
-        payload: dict = {"type": "hello", "seed": int(seed)}
+        payload: dict = {
+            "type": "hello",
+            "seed": int(seed),
+            "protocol": PROTOCOL_VERSION,
+        }
         if session_id is not None:
             payload["session_id"] = session_id
         if num_executors is not None:
@@ -94,6 +109,8 @@ class PolicyClient(_LineClient):
             payload["fallback"] = fallback
         reply = self.request(payload)
         self.session_id = reply["session_id"]
+        self.protocol = reply.get("protocol")
+        self.policy_version = reply.get("policy_version")
         return reply
 
     def decide(self, observation: Observation, request_id: Optional[int] = None) -> dict:
@@ -105,7 +122,10 @@ class PolicyClient(_LineClient):
         }
         if request_id is not None:
             payload["request_id"] = int(request_id)
-        return self.request(payload)
+        reply = self.request(payload)
+        if "policy_version" in reply:
+            self.policy_version = reply["policy_version"]
+        return reply
 
     def stats(self) -> dict:
         return self.request({"type": "stats"})

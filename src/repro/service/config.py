@@ -1,0 +1,141 @@
+"""One construction story for every serving topology.
+
+Before this module, the three server classes grew overlapping-but-divergent
+keyword sets and every caller (examples, the test factory, CI smoke scripts)
+hand-assembled its own kwarg dict.  :class:`ServingConfig` is the single
+declarative description — transport, shard count, admission limit, SLO
+window, batch window, kernel backend, checkpoint store path — and
+:func:`build_server` turns it into the right topology:
+
+* ``num_shards == 1`` → one in-process server (``transport`` picks the
+  threaded :class:`~repro.service.server.PolicyServer` or the asyncio
+  :class:`~repro.service.aioserver.AsyncPolicyServer`);
+* ``num_shards > 1`` → a :class:`~repro.service.fleet.ServingFleet` (shard
+  processes always run the asyncio transport; ``transport`` only governs the
+  single-process case).
+
+The agent can be passed in directly or loaded from ``checkpoint_dir`` (a
+:class:`~repro.core.checkpoints.CheckpointStore` directory); setting
+``kernel_backend`` rebuilds the agent with that GNN kernel backend, since the
+backend is bound at construction time.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..core.agent import DecimaAgent
+from ..core.checkpoints import CheckpointStore, agent_spec, build_agent
+
+__all__ = ["ServingConfig", "build_server"]
+
+_TRANSPORTS = ("threaded", "asyncio")
+
+
+@dataclass
+class ServingConfig:
+    """Declarative description of a policy-serving deployment."""
+
+    # Topology.
+    transport: str = "threaded"
+    num_shards: int = 1
+    host: str = "127.0.0.1"
+    port: int = 0
+    control_port: int = 0  # fleet only: the router's control plane listener
+    max_sessions: Optional[int] = None  # fleet only: admission limit
+    start_method: Optional[str] = None  # fleet only: mp start method
+    # Decision path.
+    fallback: str = "fifo"
+    slo_ms: Optional[float] = None
+    breach_threshold: int = 3
+    cooldown_decisions: int = 20
+    batched: bool = True
+    greedy: bool = True
+    max_batch_size: int = 64
+    batch_window_ms: float = 2.0
+    adaptive_batch_window: bool = True
+    # Agent sourcing.
+    kernel_backend: Optional[str] = None
+    checkpoint_dir: Optional[str] = None
+    # Online learning (fleet only): record per-decision experience in each
+    # shard so an OnlineLearningManager can drain it for background updates.
+    collect_experience: bool = False
+
+    def __post_init__(self) -> None:
+        if self.transport not in _TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {self.transport!r}; known: {_TRANSPORTS}"
+            )
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+
+    def server_kwargs(self) -> dict:
+        """The per-server keyword set shared by both transports and shards."""
+        return {
+            "fallback": self.fallback,
+            "slo_ms": self.slo_ms,
+            "breach_threshold": self.breach_threshold,
+            "cooldown_decisions": self.cooldown_decisions,
+            "batched": self.batched,
+            "greedy": self.greedy,
+            "max_batch_size": self.max_batch_size,
+            "batch_window_ms": self.batch_window_ms,
+            "adaptive_batch_window": self.adaptive_batch_window,
+        }
+
+    def resolve_agent(self, agent: Optional[DecimaAgent] = None) -> DecimaAgent:
+        """The agent this deployment serves.
+
+        Falls back to the ``checkpoint_dir`` store's latest version when no
+        agent is passed; applies the ``kernel_backend`` override by rebuilding
+        (the GNN binds its kernels at construction).
+        """
+        if agent is None:
+            if self.checkpoint_dir is None:
+                raise ValueError(
+                    "pass an agent or set checkpoint_dir so one can be loaded"
+                )
+            agent = CheckpointStore(self.checkpoint_dir).load()
+        if (
+            self.kernel_backend is not None
+            and self.kernel_backend != agent.config.kernel_backend
+        ):
+            spec = agent_spec(agent)
+            spec.config = copy.deepcopy(spec.config)
+            spec.config.kernel_backend = self.kernel_backend
+            agent = build_agent(spec, agent.state_dict())
+        return agent
+
+
+def build_server(
+    config: ServingConfig, agent: Optional[DecimaAgent] = None
+) -> Union["PolicyServer", "AsyncPolicyServer", "ServingFleet"]:
+    """Construct (but do not start) the deployment ``config`` describes.
+
+    Returns a :class:`PolicyServer`, :class:`AsyncPolicyServer` or
+    :class:`ServingFleet`; all three share the ``start()/stop()`` and
+    context-manager lifecycle.
+    """
+    from .aioserver import AsyncPolicyServer
+    from .fleet import ServingFleet
+    from .server import PolicyServer
+
+    agent = config.resolve_agent(agent)
+    if config.num_shards > 1:
+        return ServingFleet(
+            agent,
+            num_shards=config.num_shards,
+            host=config.host,
+            port=config.port,
+            control_port=config.control_port,
+            max_sessions=config.max_sessions,
+            start_method=config.start_method,
+            collect_experience=config.collect_experience,
+            **config.server_kwargs(),
+        )
+    server_class = PolicyServer if config.transport == "threaded" else AsyncPolicyServer
+    return server_class(
+        agent, host=config.host, port=config.port, **config.server_kwargs()
+    )

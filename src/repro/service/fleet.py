@@ -20,6 +20,7 @@ differential pair).
 from __future__ import annotations
 
 import multiprocessing as mp
+import threading
 from typing import Optional
 
 from ..core.agent import DecimaAgent
@@ -29,12 +30,37 @@ from .router import ShardRouter
 __all__ = ["ServingFleet"]
 
 
-def _shard_main(connection, spec: AgentSpec, state, host: str, server_kwargs: dict):
-    """Entry point of one shard process: serve until the parent says stop."""
+def _shard_main(
+    connection,
+    spec: AgentSpec,
+    state,
+    host: str,
+    server_kwargs: dict,
+    collect_experience: bool = False,
+):
+    """Entry point of one shard process: serve until the parent says stop.
+
+    After the ready handshake the pipe becomes the shard's command channel
+    (the online-learning control path):
+
+    * ``"stop"`` — shut down (legacy token, also the teardown path);
+    * ``("install", state, version)`` — stage a policy hot-swap, ack with
+      ``("installed", version)`` (the swap applies at the next decision);
+    * ``("stats",)`` — reply ``("stats", {...})`` with the broker snapshot;
+    * ``("drain",)`` — reply ``("experience", [...])`` with the experience
+      steps collected since the last drain (empty unless the shard was
+      started with ``collect_experience``).
+    """
     from .aioserver import AsyncPolicyServer
 
     agent = build_agent(spec, state)
     server = AsyncPolicyServer(agent, host=host, port=0, **server_kwargs)
+    collector = None
+    if collect_experience:
+        from ..learning.buffer import ExperienceCollector
+
+        collector = ExperienceCollector()
+        server.broker.decision_tap = collector
     try:
         address = server.start()
     except Exception as error:  # noqa: BLE001 - parent needs the reason
@@ -42,10 +68,37 @@ def _shard_main(connection, spec: AgentSpec, state, host: str, server_kwargs: di
         return
     connection.send(("ready", address))
     try:
-        # Block until the parent sends the stop token or dies (EOF).
-        connection.recv()
-    except (EOFError, OSError):
-        pass
+        while True:
+            try:
+                command = connection.recv()
+            except (EOFError, OSError):
+                break  # parent died
+            if command == "stop":
+                break
+            kind = command[0] if isinstance(command, tuple) and command else None
+            try:
+                if kind == "install":
+                    _, new_state, version = command
+                    server.install_policy(new_state, version)
+                    connection.send(("installed", int(version)))
+                elif kind == "stats":
+                    connection.send(
+                        (
+                            "stats",
+                            {
+                                "policy_version": server.policy_version,
+                                "broker": server.broker.stats(),
+                                "num_sessions": server.num_live_sessions(),
+                            },
+                        )
+                    )
+                elif kind == "drain":
+                    steps = collector.drain() if collector is not None else []
+                    connection.send(("experience", steps))
+                else:
+                    connection.send(("error", f"unknown shard command {command!r}"))
+            except Exception as error:  # noqa: BLE001 - keep the shard alive
+                connection.send(("error", repr(error)))
     finally:
         server.stop()
         connection.close()
@@ -63,6 +116,7 @@ class ServingFleet:
         control_port: int = 0,
         max_sessions: Optional[int] = None,
         start_method: Optional[str] = None,
+        collect_experience: bool = False,
         **server_kwargs,
     ):
         if num_shards < 1:
@@ -74,6 +128,7 @@ class ServingFleet:
         self.port = int(port)
         self.control_port = int(control_port)
         self.max_sessions = max_sessions
+        self.collect_experience = bool(collect_experience)
         self.server_kwargs = dict(server_kwargs)
         if start_method is None:
             start_method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
@@ -83,6 +138,9 @@ class ServingFleet:
         self.shard_addresses: list = []
         self.router: Optional[ShardRouter] = None
         self._running = False
+        # The shard pipes double as the command channel (install/stats/
+        # drain); commands are strict request/reply, so serialize them.
+        self._pipe_lock = threading.Lock()
 
     # -------------------------------------------------------------- lifecycle
     @property
@@ -108,7 +166,7 @@ class ServingFleet:
                 process = self._context.Process(
                     target=_shard_main,
                     args=(child_conn, self._spec, self._state, self.host,
-                          self.server_kwargs),
+                          self.server_kwargs, self.collect_experience),
                     name=f"policy-shard-{index}",
                     daemon=True,
                 )
@@ -176,6 +234,56 @@ class ServingFleet:
 
     def __exit__(self, *exc_info) -> None:
         self.stop()
+
+    # ----------------------------------------------------------- control path
+    def _command(self, payload, expect: str, timeout: float = 30.0) -> list:
+        """Send one command to every live shard; collect per-shard replies.
+
+        Dead shards (fault-injected kills) yield ``None`` instead of raising
+        — learning must keep working around a lost shard exactly as serving
+        does.
+        """
+        replies: list = []
+        with self._pipe_lock:
+            for index, connection in enumerate(self._connections):
+                process = self.processes[index]
+                if not process.is_alive():
+                    replies.append(None)
+                    continue
+                try:
+                    connection.send(payload)
+                    if not connection.poll(timeout=timeout):
+                        replies.append(None)
+                        continue
+                    status, value = connection.recv()
+                except (BrokenPipeError, EOFError, OSError):
+                    replies.append(None)
+                    continue
+                replies.append(value if status == expect else None)
+        return replies
+
+    def install_policy(self, state: dict, version: int) -> int:
+        """Stage a hot-swap on every live shard; return the ack count.
+
+        An ack means *delivered and staged* — each shard applies the swap
+        atomically at its next decision round, so sessions in flight when the
+        install lands are answered by the old weights and never dropped.
+        """
+        acks = self._command(("install", state, int(version)), expect="installed")
+        return sum(1 for ack in acks if ack is not None)
+
+    def shard_stats(self) -> list:
+        """Per-shard broker snapshots over the command channel (None = dead)."""
+        return self._command(("stats",), expect="stats")
+
+    def drain_experience(self) -> list:
+        """Collect and clear every live shard's recorded experience steps."""
+        drained = self._command(("drain",), expect="experience")
+        steps: list = []
+        for shard_steps in drained:
+            if shard_steps:
+                steps.extend(shard_steps)
+        return steps
 
     # ------------------------------------------------------------------ faults
     def kill_shard(self, index: int) -> None:

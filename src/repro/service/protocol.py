@@ -10,14 +10,21 @@ Request types:
 
 ``hello``
     Open a session: ``{"type": "hello", "session_id", "num_executors",
-    "seed", "fallback"}``.  Reply: ``welcome`` (echoes the session id and
-    describes the hosted policy).
+    "seed", "fallback"}``.  Since protocol 2 the client may add a
+    ``"protocol"`` field naming the newest protocol it speaks; the server
+    negotiates ``min(client, server)`` and echoes the result as
+    ``"protocol"`` in the ``welcome`` reply (a hello without the field is a
+    protocol-1 client and still works).  Reply: ``welcome`` (echoes the
+    session id, describes the hosted policy, and since protocol 2 reports
+    the serving ``policy_version``).
 ``decide``
     Ask for one scheduling decision: ``{"type": "decide", "session_id",
     "request_id", "observation": {...}}`` where the observation payload is
     produced by :func:`encode_observation`.  Reply: ``action`` with the chosen
     ``(job_id, node_id, parallelism_limit)``, the decision ``source``
-    (``"policy"`` or ``"fallback"``) and the measured ``latency_ms``.
+    (``"policy"`` or ``"fallback"``), the measured ``latency_ms`` and — since
+    protocol 2 — the monotonic ``policy_version`` that answered it (the
+    online-learning audit trail; old clients ignore the extra key).
 ``stats``
     Reply: per-session decision counts, the latency histogram
     (p50/p95/p99, :func:`repro.simulator.metrics.latency_histogram`) and the
@@ -61,7 +68,11 @@ __all__ = [
     "encode_observation",
 ]
 
-PROTOCOL_VERSION = 1
+# Version 2 added hello protocol negotiation and policy_version on welcome
+# and action replies.  Both are additive: a v1 client's hello (no "protocol"
+# field) negotiates down to 1 and the extra reply keys are ignorable, so the
+# observation payload format is unchanged and still stamps its own version.
+PROTOCOL_VERSION = 2
 
 
 class ProtocolError(RuntimeError):

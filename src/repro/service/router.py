@@ -111,6 +111,10 @@ class ShardRouter:
         self.connect_timeout = float(connect_timeout)
         self.probe_timeout = float(probe_timeout)
         self.counters = _RouterCounters()
+        # Online-learning bookkeeping published through control-plane stats.
+        # The learning manager owns the content (current/previous checkpoint
+        # version, rollback count); the router just relays the latest dict.
+        self.learning_info: Optional[dict] = None
         self._active_sessions = 0
         self._session_counter = 0
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -477,18 +481,18 @@ class ShardRouter:
                         shard_stats = await asyncio.gather(
                             *(self._shard_stats(shard) for shard in self.shards)
                         )
-                        await self._write(
-                            writer,
-                            {
-                                "type": "stats",
-                                "router": {
-                                    **self.counters.describe(),
-                                    "active_sessions": self._active_sessions,
-                                    "max_sessions": self.max_sessions,
-                                },
-                                "shards": list(shard_stats),
+                        payload = {
+                            "type": "stats",
+                            "router": {
+                                **self.counters.describe(),
+                                "active_sessions": self._active_sessions,
+                                "max_sessions": self.max_sessions,
                             },
-                        )
+                            "shards": list(shard_stats),
+                        }
+                        if self.learning_info is not None:
+                            payload["learning"] = dict(self.learning_info)
+                        await self._write(writer, payload)
                     elif kind == "reconfigure":
                         await self._write(writer, self._apply_reconfigure(message))
                     elif kind == "bye":

@@ -39,7 +39,7 @@ from .batcher import (
     DecisionResult,
     RequestBroker,
 )
-from .protocol import ProtocolError, read_message, write_message
+from .protocol import PROTOCOL_VERSION, ProtocolError, read_message, write_message
 from .session import SessionState
 
 __all__ = ["PolicyServer", "ServerCore"]
@@ -108,6 +108,20 @@ class ServerCore:
         self._sessions_lock = threading.Lock()
         self._session_counter = 0
 
+    # ---------------------------------------------------------------- hot-swap
+    def install_policy(self, state: dict, version: int) -> None:
+        """Stage refreshed weights for an atomic hot-swap.
+
+        Delegates to the broker: the swap is applied at the top of the next
+        decision round on the dispatch thread/coroutine, so no in-flight
+        forward ever sees mixed weights and no session is dropped.
+        """
+        self.broker.install(state, version)
+
+    @property
+    def policy_version(self) -> int:
+        return self.broker.policy_version
+
     # ------------------------------------------------------------- batch window
     def window_seconds(self) -> float:
         """How long the dispatcher should hold the current batch open."""
@@ -153,6 +167,8 @@ class ServerCore:
             if session_id in self.sessions:
                 raise ProtocolError(f"session id {session_id!r} is already connected")
             self.sessions[session_id] = session
+        # Version negotiation: a hello without "protocol" is a v1 client.
+        client_protocol = int(message.get("protocol", 1))
         welcome = {
             "type": "welcome",
             "session_id": session_id,
@@ -161,6 +177,8 @@ class ServerCore:
             "fallback": fallback_name,
             "batched": self.broker.batched,
             "greedy": self.broker.greedy,
+            "protocol": min(client_protocol, PROTOCOL_VERSION),
+            "policy_version": self.broker.policy_version,
         }
         return session, welcome
 
@@ -195,6 +213,7 @@ class ServerCore:
             "request_id": message.get("request_id"),
             "source": result.source,
             "latency_ms": result.latency_seconds * 1000.0,
+            "policy_version": result.policy_version,
         }
         reply.update(session.encode_action(result.action))
         return reply

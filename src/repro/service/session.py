@@ -74,6 +74,10 @@ class SessionState:
         self.num_policy_decisions = 0
         self.num_fallback_decisions = 0
         self.latencies: deque = deque(maxlen=_LATENCY_WINDOW)
+        # Newest policy version that answered this session (stamped by the
+        # broker); versions are globally monotonic, so per-session they can
+        # only ever increase across a hot-swap or rollback.
+        self.last_policy_version: Optional[int] = None
 
     # ------------------------------------------------------------ reconciling
     def _build_shadow_job(self, payload: dict) -> JobDAG:
@@ -217,6 +221,21 @@ class SessionState:
             "parallelism_limit": int(action.parallelism_limit),
         }
 
+    def resolve_node(self, job_id: int, node_id: int) -> Node:
+        """Shadow node for a wire ``(job_id, node_id)`` pair.
+
+        The online-learning trainer replays recorded snapshots through a
+        fresh session and uses this to turn each logged action's wire ids
+        back into the replayed shadow objects the agent scores against.
+        """
+        nodes_by_id = self._shadow_nodes.get(int(job_id))
+        if nodes_by_id is None:
+            raise KeyError(f"session does not track job {job_id}")
+        node = nodes_by_id.get(int(node_id))
+        if node is None:
+            raise KeyError(f"job {job_id} has no node {node_id}")
+        return node
+
     # ------------------------------------------------------------ accounting
     def record_decision(self, source: str, latency_seconds: float) -> None:
         self.num_decisions += 1
@@ -238,6 +257,7 @@ class SessionState:
             "num_decisions": self.num_decisions,
             "num_policy_decisions": self.num_policy_decisions,
             "num_fallback_decisions": self.num_fallback_decisions,
+            "last_policy_version": self.last_policy_version,
             "graph_rebuilds": self.graph_cache.num_rebuilds,
             "graph_delta_refreshes": self.graph_cache.num_delta_refreshes,
             "graph_full_refreshes": self.graph_cache.num_full_refreshes,

@@ -280,7 +280,7 @@ def _rollout_parallel(task: DifferentialTask) -> EpisodeTrace:
 
 # ---------------------------------------------------------- service variants
 def _service_stream(
-    task: DifferentialTask, batched: bool, num_shards: int = 1
+    task: DifferentialTask, batched: bool, num_shards: int = 1, online: bool = False
 ) -> EpisodeTrace:
     """Drive ``num_sessions`` concurrent clusters through request broker(s).
 
@@ -294,6 +294,14 @@ def _service_stream(
     identical for ``batched=True``, ``batched=False`` and any shard count,
     because a session's decisions depend only on its own rng stream, graph
     cache and observations.
+
+    With ``online=True`` the *entire* online-learning loop runs against the
+    broker at ``learning_rate=0``: experience is collected off the decision
+    tap, replayed, an Adam step applied (bit-neutral at lr 0), the result
+    checkpointed and hot-swapped into the broker mid-stream.  The decision
+    stream must still be identical to frozen serving — only the recorded
+    ``policy_version`` may differ — which is the ``frozen_vs_online`` pair's
+    guarantee: learning plumbing cannot perturb serving behaviour.
     """
     from ..service import (
         DecisionRequest,
@@ -306,7 +314,9 @@ def _service_stream(
 
     spec = task.resolve_spec()
     simulator_config = spec.build_config(seed=task.seed)
-    if num_shards > 1:
+    if online:
+        label = "service:online"
+    elif num_shards > 1:
         label = f"service:sharded[{num_shards}]"
     else:
         label = "service:batched" if batched else "service:serial"
@@ -335,6 +345,7 @@ def _service_stream(
             node=action.node.node_id if action is not None and action.node else None,
             limit=int(action.parallelism_limit) if action is not None else None,
             session=request.session.session_id,
+            policy_version=int(result.policy_version),
         )
 
     # Every shard hosts its own agent; identical construction gives identical
@@ -349,6 +360,33 @@ def _service_stream(
         )
         for _ in range(num_shards)
     ]
+    manager = None
+    store_dir = None
+    if online:
+        import tempfile
+
+        from ..core.checkpoints import CheckpointStore
+        from ..learning import (
+            OnlineLearningConfig,
+            OnlineLearningManager,
+            OnlineTrainerConfig,
+        )
+
+        store_dir = tempfile.TemporaryDirectory(prefix="online-diff-")
+        # lr=0 keeps the Adam step bit-neutral; the huge guard probation
+        # pins the run to exactly one mid-stream hot-swap, so the variant is
+        # deterministic.  The manager chains its collector onto ``tap``.
+        manager = OnlineLearningManager(
+            brokers[0],
+            CheckpointStore(store_dir.name),
+            OnlineLearningConfig(
+                episodes_per_update=1,
+                segment_steps=4,
+                trainer_process=False,
+                guard_min_decisions=1_000_000_000,
+                trainer=OnlineTrainerConfig(learning_rate=0.0),
+            ),
+        )
     environments, observations, sessions, shard_of = [], [], [], []
     for index in range(task.num_sessions):
         jobs = task.build_jobs(spec, stream=index + 1)
@@ -369,7 +407,7 @@ def _service_stream(
     # sessions that never finish.  All variants truncate identically because
     # their per-round decision streams are identical.
     max_rounds = 60
-    for _ in range(max_rounds):
+    for round_index in range(max_rounds):
         if (
             task.max_decisions is not None
             and len(trace.decisions) >= task.max_decisions
@@ -421,9 +459,16 @@ def _service_stream(
                 )
             next_observation, _, done = environments[index].step(action)
             observations[index] = None if done else next_observation
+        if manager is not None and round_index % 3 == 2:
+            manager.maybe_update()
     if task.max_decisions is not None:
         del trace.decisions[task.max_decisions:]
     trace.summary = {"num_decisions": len(trace.decisions)}
+    if manager is not None:
+        trace.summary["num_updates_applied"] = manager.num_updates_applied
+        trace.summary["policy_version"] = manager.policy_version
+        manager.stop()
+        store_dir.cleanup()
     return trace
 
 
@@ -442,6 +487,10 @@ register_variant("rollout:parallel", _rollout_parallel)
 register_variant("service:batched", lambda task: _service_stream(task, True))
 register_variant("service:serial", lambda task: _service_stream(task, False))
 register_variant("service:sharded", lambda task: _service_stream(task, True, num_shards=2))
+# The full online-learning loop (collect → replay → lr=0 update → checkpoint
+# → hot-swap) running against the broker mid-stream; must not perturb any
+# decision relative to frozen serving.
+register_variant("service:online", lambda task: _service_stream(task, True, online=True))
 
 # The named fast/oracle pairs the repo guarantees, each with the decision
 # fields that define "the same decision" for that pair (worker outcomes carry
@@ -477,6 +526,12 @@ IMPLEMENTATION_PAIRS: Dict[str, dict] = {
     },
     "sharded_vs_serial_service": {
         "variants": ("service:sharded", "service:serial"),
+        "fields": ("session", "job", "node", "limit", "wall_time", "obs_fingerprint"),
+    },
+    # ``policy_version`` is deliberately excluded: hot-swaps bump it on the
+    # online side while frozen serving stays at 1 — the pair pins *decisions*.
+    "frozen_vs_online": {
+        "variants": ("service:batched", "service:online"),
         "fields": ("session", "job", "node", "limit", "wall_time", "obs_fingerprint"),
     },
 }

@@ -121,6 +121,10 @@ class TraceRecorder:
                 fields = {}
             logits = last_logits["digest"]
             last_logits["digest"] = None
+            # Hot-swapping schedulers (the online serving loop) expose the
+            # version that answered; everything offline records None, which
+            # the canonical encoding strips from the line.
+            policy_version = getattr(scheduler, "policy_version", None)
 
             def finish(reward) -> None:
                 trace.decisions.append(
@@ -130,6 +134,9 @@ class TraceRecorder:
                         obs_fingerprint=fingerprint,
                         reward=float(reward),
                         logits=logits,
+                        policy_version=(
+                            int(policy_version) if policy_version is not None else None
+                        ),
                         **fields,
                     )
                 )

@@ -173,6 +173,11 @@ class DecisionRecord:
     serial-vs-parallel rollout pair compares on ``(wall_time, reward)`` only,
     because worker outcomes ship rewards but not node identities — see
     :mod:`repro.verify.differential`.
+
+    ``policy_version`` audits which published policy answered the decision on
+    paths that hot-swap weights (the online-learning serving loop); offline
+    recordings leave it ``None``, which the canonical encoding strips, so
+    golden traces are byte-identical to pre-versioned ones.
     """
 
     step: int
@@ -185,6 +190,7 @@ class DecisionRecord:
     reward: Optional[float] = None
     logits: Optional[str] = None
     session: Optional[str] = None
+    policy_version: Optional[int] = None
 
 
 @dataclass(frozen=True)

@@ -54,14 +54,21 @@ def server_factory(request):
     fixture is what pins their wire behaviour to each other.  The factory
     binds ``port=0`` (the OS picks a free port; read ``server.address``) and
     registers the server for teardown even if the test body raises.
+
+    Servers are built through the declarative :class:`ServingConfig` /
+    :func:`build_server` path — the same construction story the examples and
+    CI smoke scripts use — so kwargs are config fields, not raw server
+    kwargs.  ``factory.server_class`` stays available for tests that need
+    direct construction (e.g. to assert constructor-time validation).
     """
-    from repro.service import AsyncPolicyServer, PolicyServer
+    from repro.service import AsyncPolicyServer, PolicyServer, ServingConfig, build_server
 
     server_class = PolicyServer if request.param == "threaded" else AsyncPolicyServer
     started = []
 
     def factory(agent, **kwargs):
-        server = server_class(agent, **kwargs)
+        config = ServingConfig(transport=request.param, **kwargs)
+        server = build_server(config, agent=agent)
         server.start()
         started.append(server)
         return server

@@ -28,7 +28,8 @@ class TestRegistry:
         names = variant_names()
         for name in ("decima:default", "decima:dense_gnn", "decima:kernel_gnn",
                      "decima:tensor_forward", "rollout:serial",
-                     "rollout:parallel", "service:batched", "service:serial"):
+                     "rollout:parallel", "service:batched", "service:serial",
+                     "service:online"):
             assert name in names
         # Every registered scheduler is reachable as a variant.
         for scheduler in scheduler_names():
@@ -109,6 +110,23 @@ class TestImplementationPairs:
         report = run_pair("kernel_vs_numpy_gnn", task)
         assert report.ok, report.describe()
         assert min(report.num_decisions) > 5
+
+    @pytest.mark.parametrize("scenario", sorted(scenario_names()))
+    def test_online_lr0_matches_frozen_on_every_scenario(self, scenario):
+        """Acceptance (issue 8): serving with the full online-learning loop
+        running at lr=0 — experience collection, background REINFORCE
+        updates, checkpoint saves and broker hot-swaps all live — produces
+        the exact same decision stream as frozen serving on all registry
+        scenarios.  The learning machinery may only change weights through
+        a nonzero learning rate, never through its own plumbing."""
+        task = DifferentialTask(scenario=scenario, seed=11, num_sessions=5, **SMALL)
+        report = run_pair("frozen_vs_online", task)
+        assert report.ok, report.describe()
+        assert min(report.num_decisions) > 5
+        # The pair only proves something if the online side actually
+        # trained and hot-swapped mid-stream.
+        assert report.traces[1].summary["num_updates_applied"] >= 1
+        assert report.traces[1].summary["policy_version"] > 1
 
     def test_sharded_variant_actually_spreads_sessions(self):
         """With 5 sessions over 2 shards, both shards must answer traffic
