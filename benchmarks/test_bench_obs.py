@@ -1,0 +1,120 @@
+"""Benchmark: the telemetry layer must stay off the decision path.
+
+Issue 9 threads a metrics registry, per-decision tracing and a flight
+recorder through the serving stack with one hard promise: an *untraced*
+decision does the same work it did before telemetry existed, and even a
+*traced* decision (span minting, the stage clock's wall-timestamp, four
+child spans filed per ``act()``) stays within a few percent of it.  This
+benchmark measures ``act()`` steps/sec over identical seeded episodes with
+tracing off and on and records both in ``BENCH_obs.json``.
+
+``DECIMA_BENCH_OBS_MAX_OVERHEAD_PCT`` (default 5.0) sets the allowed traced
+overhead in percent; CI loosens it for noisy shared runners.  Each mode is
+measured over alternating repetitions and scored by its best run, so the
+comparison tracks the code paths rather than scheduler jitter.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.core import DecimaAgent, DecimaConfig
+from repro.obs import Span, SpanStore
+from repro.simulator import SchedulingEnvironment, SimulatorConfig
+from repro.workloads import batched_arrivals, sample_tpch_jobs
+
+NUM_JOBS = 50
+NUM_EXECUTORS = 20
+STEPS = 60
+REPETITIONS = 5
+
+
+def _measure(traced: bool) -> dict:
+    """Steps/sec of ``act()`` over one seeded greedy episode prefix."""
+    rng = np.random.default_rng(0)
+    jobs = batched_arrivals(sample_tpch_jobs(NUM_JOBS, rng, sizes=(2.0, 5.0)))
+    environment = SchedulingEnvironment(
+        SimulatorConfig(num_executors=NUM_EXECUTORS, seed=0)
+    )
+    agent = DecimaAgent(total_executors=NUM_EXECUTORS, config=DecimaConfig(seed=0))
+    agent.reset()
+    observation = environment.reset(jobs, seed=0)
+    act_rng = np.random.default_rng(1)
+    store = SpanStore(max_traces=STEPS + 1)
+
+    act_seconds = 0.0
+    actions = 0
+    done = False
+    while not done and actions < STEPS:
+        span = None
+        if traced:
+            span = Span("broker.decide", service="bench", store=store)
+        start = time.perf_counter()
+        action, _ = agent.act(observation, rng=act_rng, greedy=True, span=span)
+        act_seconds += time.perf_counter() - start
+        if span is not None:
+            span.finish()
+        observation, _, done = environment.step(action)
+        actions += 1
+    if traced:
+        # Sanity: tracing actually happened (per decision: the parent span
+        # plus 4 stage children).
+        assert store.num_spans == actions * 5
+    return {
+        "traced": traced,
+        "actions": actions,
+        "act_seconds": act_seconds,
+        "steps_per_sec": actions / act_seconds if act_seconds else float("inf"),
+    }
+
+
+def _compare_modes() -> dict:
+    runs = {False: [], True: []}
+    for _ in range(REPETITIONS):
+        for traced in (False, True):
+            runs[traced].append(_measure(traced))
+    best = {
+        traced: max(rows, key=lambda row: row["steps_per_sec"])
+        for traced, rows in runs.items()
+    }
+    overhead_pct = (
+        best[False]["steps_per_sec"] / best[True]["steps_per_sec"] - 1.0
+    ) * 100.0
+    return {
+        "num_jobs": NUM_JOBS,
+        "steps_per_mode": STEPS,
+        "repetitions": REPETITIONS,
+        "telemetry_off": best[False],
+        "telemetry_on": best[True],
+        "traced_overhead_pct": overhead_pct,
+    }
+
+
+def test_bench_obs_overhead(benchmark):
+    result = run_once(benchmark, _compare_modes)
+    off = result["telemetry_off"]["steps_per_sec"]
+    on = result["telemetry_on"]["steps_per_sec"]
+    print()
+    print("act() telemetry overhead (stage clock + per-decision spans)")
+    print(f"  untraced: {off:>8.1f} steps/s")
+    print(f"  traced:   {on:>8.1f} steps/s")
+    print(f"  overhead: {result['traced_overhead_pct']:>7.2f} %")
+    benchmark.extra_info["traced_overhead_pct"] = round(
+        result["traced_overhead_pct"], 3
+    )
+
+    output_dir = Path(os.environ.get("DECIMA_BENCH_OUTPUT_DIR", "."))
+    artifact = output_dir / "BENCH_obs.json"
+    artifact.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"  wrote {artifact}")
+
+    allowed = float(os.environ.get("DECIMA_BENCH_OBS_MAX_OVERHEAD_PCT", "5.0"))
+    assert result["traced_overhead_pct"] <= allowed, (
+        f"traced act() is {result['traced_overhead_pct']:.2f}% slower than "
+        f"untraced; the telemetry budget is {allowed:.1f}%"
+    )

@@ -34,6 +34,7 @@ import argparse
 import json
 import sys
 import tempfile
+import time
 
 from repro.core import CheckpointStore, DecimaAgent, DecimaConfig
 from repro.learning import (
@@ -41,7 +42,45 @@ from repro.learning import (
     OnlineLearningManager,
     OnlineTrainerConfig,
 )
-from repro.service import ControlClient, ServingConfig, build_server, run_load
+from repro.obs import configure_logging, summarize_snapshot
+from repro.service import (
+    ControlClient,
+    PolicyClient,
+    ServingConfig,
+    build_server,
+    run_load,
+)
+
+
+def parse_address(text: str, flag: str, parser) -> tuple:
+    host, _, port = text.partition(":")
+    if not port:
+        parser.error(f"{flag} needs HOST:PORT")
+    return host, int(port)
+
+
+def watch_fleet(address: tuple, interval: float) -> None:
+    """Live ops surface: scrape a running fleet's control plane forever.
+
+    One line per shard per tick, straight from the shard metric registries
+    (policy version, decision/fallback counts, feature-refresh mix, stage
+    timings, decision latency) plus the online-learning status when a
+    manager publishes it.  Ctrl-C stops.
+    """
+    print(f"Watching fleet control plane at {address[0]}:{address[1]} "
+          f"every {interval:g}s (Ctrl-C to stop)")
+    with ControlClient(*address) as control:
+        while True:
+            reply = control.metrics()
+            for shard in reply.get("shards", []):
+                print(f"[shard {shard['index']}] "
+                      f"{summarize_snapshot(shard['metrics'])}")
+            learning = control.stats().get("learning")
+            if learning:
+                print(f"[learning] v{learning['policy_version']} "
+                      f"updates={learning['num_updates_applied']} "
+                      f"rollbacks={learning['num_rollbacks']}")
+            time.sleep(interval)
 
 
 def main() -> None:
@@ -51,6 +90,15 @@ def main() -> None:
                         help="address of a running policy server")
     target.add_argument("--serve", action="store_true",
                         help="self-host a server in-process for the duration")
+    target.add_argument("--watch", metavar="HOST:PORT",
+                        help="drive no load; live-print a running fleet's "
+                             "per-shard metrics from its control plane")
+    parser.add_argument("--watch-interval", type=float, default=2.0,
+                        help="seconds between --watch scrapes (default 2)")
+    parser.add_argument("--trace-every", type=int, default=None,
+                        help="end-to-end trace every Nth decision per episode "
+                             "(trace ids land in the summary; against a fleet "
+                             "the first one is reconstructed and printed)")
     parser.add_argument("--sessions", type=int, default=4,
                         help="concurrent cluster sessions (default 4)")
     parser.add_argument("--decisions", type=int, default=200,
@@ -80,6 +128,14 @@ def main() -> None:
     parser.add_argument("--out", help="write the summary JSON to this path")
     args = parser.parse_args()
 
+    configure_logging()
+    if args.watch:
+        try:
+            watch_fleet(parse_address(args.watch, "--watch", parser),
+                        args.watch_interval)
+        except KeyboardInterrupt:
+            pass
+        return
     if not args.connect and not args.serve:
         args.serve = True  # sensible default: a self-contained run
     if args.online and not args.serve:
@@ -90,10 +146,7 @@ def main() -> None:
     store_tmp = None
     control_address = None
     if args.control:
-        control_host, _, control_port = args.control.partition(":")
-        if not control_port:
-            parser.error("--control needs HOST:PORT")
-        control_address = (control_host, int(control_port))
+        control_address = parse_address(args.control, "--control", parser)
     if args.serve:
         agent = DecimaAgent(
             total_executors=args.executors, config=DecimaConfig(seed=args.seed)
@@ -126,10 +179,7 @@ def main() -> None:
             manager.start(interval_seconds=args.update_interval)
             print(f"Online learning on (lr={args.learning_rate:g})")
     else:
-        host, _, port_text = args.connect.partition(":")
-        if not port_text:
-            parser.error("--connect needs HOST:PORT")
-        port = int(port_text)
+        host, port = parse_address(args.connect, "--connect", parser)
 
     try:
         summary = run_load(
@@ -140,6 +190,7 @@ def main() -> None:
             num_executors=args.executors,
             min_total_decisions=args.decisions,
             seed=args.seed,
+            trace_every=args.trace_every,
         )
         if manager is not None:
             # One final synchronous tick so short runs still get an update in
@@ -149,12 +200,30 @@ def main() -> None:
             summary["learning"] = manager.learning_info()
         if control_address is not None:
             # Snapshot the fleet's control plane while the shards are still
-            # up: per-shard liveness, placement and broker/SLO accounting.
+            # up: per-shard liveness, placement, broker/SLO accounting and
+            # every registry (router + shards) in one scrape.
             with ControlClient(*control_address) as control:
                 summary["control"] = {
                     "health": control.health(),
                     "stats": control.stats(),
                 }
+                summary["metrics"] = control.metrics()
+                trace_ids = summary.get("trace_ids", [])
+                if trace_ids:
+                    # The acceptance demo: one traced decision, rebuilt
+                    # end-to-end (client -> router -> shard -> stages) from
+                    # a single control-plane query.
+                    summary["trace"] = control.trace(trace_ids[0])
+        else:
+            # Single-server target: scrape its registry over the data plane.
+            try:
+                with PolicyClient(host, port) as scrape:
+                    summary["metrics"] = scrape.metrics()
+                    trace_ids = summary.get("trace_ids", [])
+                    if trace_ids:
+                        summary["trace"] = scrape.trace(trace_ids[0])
+            except Exception:  # noqa: BLE001 - a pre-v3 server has no scrape
+                pass
     finally:
         if manager is not None:
             manager.stop()
@@ -181,6 +250,22 @@ def main() -> None:
         print(f"fleet health: {health['num_healthy']}/{len(health['shards'])} "
               f"shards healthy; per-shard decisions: "
               f"{[s.get('broker', {}).get('num_decisions') for s in summary['control']['stats']['shards']]}")
+    metrics = summary.get("metrics")
+    if metrics is not None:
+        if "shards" in metrics:
+            for shard in metrics["shards"]:
+                print(f"[shard {shard['index']}] "
+                      f"{summarize_snapshot(shard['metrics'])}")
+        elif "metrics" in metrics:
+            print(f"[metrics] {summarize_snapshot(metrics['metrics'])}")
+    trace = summary.get("trace")
+    if trace is not None and trace.get("spans"):
+        chain = " -> ".join(
+            f"{span.get('name')}({span.get('service', '?')}, "
+            f"{span.get('duration_ms', 0.0):.2f}ms)"
+            for span in trace["spans"]
+        )
+        print(f"trace {trace['trace_id']}: {chain}")
     if args.out:
         with open(args.out, "w") as handle:
             json.dump(summary, handle, indent=2, sort_keys=True)

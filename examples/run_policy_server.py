@@ -38,27 +38,14 @@ import time
 
 from repro.core import CheckpointStore, DecimaAgent, DecimaConfig, load_agent, load_latest
 from repro.learning import OnlineLearningConfig, OnlineLearningManager, OnlineTrainerConfig
+from repro.obs import configure_logging, summarize_snapshot
 from repro.schedulers import scheduler_names
 from repro.service import ControlClient, ServingConfig, build_server
 
 
-def format_broker_stats(broker: dict) -> str:
-    """One human-readable hot-path telemetry line from broker SLO stats."""
-    cache = broker.get("graph_cache", {})
-    timing = broker.get("stage_timing", {})
-    stages = timing.get("stages", {})
-    per_stage = " ".join(
-        f"{name} {stages[name]['mean_ms']:.2f}" for name in sorted(stages)
-    )
-    return (
-        f"v{broker.get('policy_version', 1)} "
-        f"decisions={broker.get('num_decisions', 0)} "
-        f"(fallback {broker.get('num_fallback_decisions', 0)}) | "
-        f"features: {cache.get('delta_refreshes', 0)} delta / "
-        f"{cache.get('full_refreshes', 0)} full / "
-        f"{cache.get('rebuilds', 0)} rebuilds | "
-        f"stage ms/step: {per_stage or 'n/a'}"
-    )
+def _sample(snapshot: dict, name: str):
+    samples = (snapshot.get(name) or {}).get("samples") or []
+    return samples[0].get("value") if samples else None
 
 
 def build_serving_agent(args) -> DecimaAgent:
@@ -114,10 +101,16 @@ def main() -> None:
     parser.add_argument("--update-interval", type=float, default=2.0,
                         help="seconds between online update ticks (--online)")
     parser.add_argument("--stats-interval", type=float, default=30.0,
-                        help="seconds between hot-path telemetry lines "
-                             "(delta/full feature refreshes, per-stage "
-                             "timings); 0 disables")
+                        help="seconds between live ops lines (one metrics-"
+                             "registry snapshot per server/shard: policy "
+                             "version, decisions, delta/full feature "
+                             "refreshes, per-stage timings, decision "
+                             "latency); 0 disables")
+    parser.add_argument("--log-level", default="info",
+                        help="structured JSON log level on stderr "
+                             "(debug/info/warning/error; default info)")
     args = parser.parse_args()
+    configure_logging(level=args.log_level.upper())
 
     agent = build_serving_agent(args)
     config = ServingConfig(
@@ -170,21 +163,28 @@ def main() -> None:
     print("Press Ctrl-C to stop.")
 
     def print_stats() -> None:
+        """Live ops lines straight from the metrics registries."""
         if args.shards > 1:
             with ControlClient(*server.control_address) as control:
+                metrics = control.metrics()
                 stats = control.stats()
-            for shard in stats.get("shards", []):
-                broker = shard.get("broker")
-                if broker:
-                    print(f"[shard {shard.get('index', '?')}] "
-                          f"{format_broker_stats(broker)}")
+            router = metrics.get("router", {})
+            sessions = _sample(router, "router_active_sessions")
+            healthy = _sample(router, "router_healthy_shards")
+            rejected = _sample(router, "router_sessions_rejected_total")
+            print(f"[router] sessions={sessions:.0f} healthy_shards={healthy:.0f} "
+                  f"rejected={rejected:.0f}"
+                  if sessions is not None else "[router] no metrics")
+            for shard in metrics.get("shards", []):
+                print(f"[shard {shard['index']}] "
+                      f"{summarize_snapshot(shard['metrics'])}")
             learning = stats.get("learning")
             if learning:
                 print(f"[learning] v{learning['policy_version']} "
                       f"updates={learning['num_updates_applied']} "
                       f"rollbacks={learning['num_rollbacks']}")
         else:
-            print(f"[stats] {format_broker_stats(server.broker.stats())}")
+            print(f"[stats] {summarize_snapshot(server.metrics.snapshot())}")
             if manager is not None:
                 info = manager.learning_info()
                 print(f"[learning] v{info['policy_version']} "

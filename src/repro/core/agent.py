@@ -132,6 +132,12 @@ class StageTimings:
         self.policy_s += policy
         self.sampling_s += sampling
 
+    def clock(self, parent_spans: Sequence = ()) -> "_StageClock":
+        """One decision's stage clock: ``mark()`` per stage boundary, then
+        ``finish()`` accumulates into these totals and — when tracing —
+        emits one child span per stage under each parent span."""
+        return _StageClock(self, parent_spans)
+
     def snapshot(self) -> dict:
         """Totals and per-step means in milliseconds, JSON-ready."""
         steps = self.num_steps
@@ -143,6 +149,51 @@ class StageTimings:
                 "mean_ms": (total_s / steps * 1e3) if steps else 0.0,
             }
         return {"num_steps": steps, "stages": stages}
+
+
+class _StageClock:
+    """Per-decision timing of the four hot-path stages.
+
+    Replaces the copy-pasted ``t0..t4 = perf_counter()`` blocks ``act`` and
+    ``act_batch`` used to carry: create one at decision start, ``mark()``
+    after each stage, ``finish()`` after sampling.  When parent spans are
+    supplied (traced decisions), ``finish()`` also files one
+    ``stage.<name>`` child span per stage under every parent — the wall
+    timestamp is only taken when a trace is actually active, so the untraced
+    hot path pays exactly the five ``perf_counter`` calls it always did.
+    """
+
+    __slots__ = ("_timings", "_spans", "_wall", "_marks")
+
+    def __init__(self, timings: StageTimings, parent_spans: Sequence = ()):
+        self._timings = timings
+        self._spans = tuple(span for span in parent_spans if span is not None)
+        self._wall = time.time() if self._spans else 0.0
+        self._marks = [time.perf_counter()]
+
+    def mark(self) -> None:
+        self._marks.append(time.perf_counter())
+
+    def finish(self) -> tuple:
+        self._marks.append(time.perf_counter())
+        marks = self._marks
+        if len(marks) != len(StageTimings.STAGES) + 1:
+            raise RuntimeError(
+                f"stage clock finished after {len(marks) - 1} intervals; "
+                f"expected {len(StageTimings.STAGES)}"
+            )
+        durations = tuple(
+            later - earlier for earlier, later in zip(marks, marks[1:])
+        )
+        self._timings.add(*durations)
+        for parent in self._spans:
+            offset = 0.0
+            for stage, duration in zip(StageTimings.STAGES, durations):
+                child = parent.child("stage." + stage)
+                child.start_time = self._wall + offset
+                child.finish(duration_ms=duration * 1e3)
+                offset += duration
+        return durations
 
 
 class DecimaAgent(Module, Scheduler):
@@ -312,6 +363,7 @@ class DecimaAgent(Module, Scheduler):
         greedy: bool = False,
         training: bool = False,
         graph_cache: Optional[GraphCache] = None,
+        span=None,
     ) -> tuple[Optional[Action], Optional[StepInfo]]:
         """Pick a (stage, parallelism limit[, executor class]) action.
 
@@ -320,15 +372,19 @@ class DecimaAgent(Module, Scheduler):
         At inference the forward runs on the arena-buffered data path (delta
         features, workspace-owned scratch, optional compiled kernels) — the
         numbers, and therefore the decisions, match the autograd path.
+
+        ``span`` (a :class:`repro.obs.tracing.Span`, or None) is the traced
+        parent of this decision; when set, the four stage timings are also
+        filed as its child spans.
         """
         if not observation.schedulable_nodes:
             return None, None
         fast = self._use_data_path(training)
-        t0 = time.perf_counter()
+        clock = self.stage_timings.clock((span,) if span is not None else ())
         graph = self.build_features(
             observation, graph_cache=graph_cache, reuse_buffers=fast
         )
-        t1 = time.perf_counter()
+        clock.mark()
         if fast:
             node_emb, job_emb, global_emb = self.gnn.forward_data(graph)
             embeddings = GraphEmbeddings(
@@ -336,7 +392,7 @@ class DecimaAgent(Module, Scheduler):
                 job_embeddings=Tensor(job_emb),
                 global_embedding=Tensor(global_emb),
             )
-            t2 = time.perf_counter()
+            clock.mark()
             # A trace recorder's tap digests the full logit vector, so only
             # the untapped hot path restricts scoring to the schedulable rows.
             rows = (
@@ -351,15 +407,14 @@ class DecimaAgent(Module, Scheduler):
             )
         else:
             embeddings = self.gnn(graph)
-            t2 = time.perf_counter()
+            clock.mark()
             node_logits = self.policy.node_logits(graph, embeddings)
-        t3 = time.perf_counter()
+        clock.mark()
         result = self.act_on_graph(
             graph, embeddings, node_logits, observation, rng=rng, greedy=greedy,
             training=training,
         )
-        t4 = time.perf_counter()
-        self.stage_timings.add(t1 - t0, t2 - t1, t3 - t2, t4 - t3)
+        clock.finish()
         return result
 
     def score_action(
@@ -585,6 +640,7 @@ class DecimaAgent(Module, Scheduler):
         training: bool = False,
         graph_caches: Optional[Sequence[Optional[GraphCache]]] = None,
         merge_cache: Optional[MergedStructureCache] = None,
+        spans: Optional[Sequence] = None,
     ) -> list[tuple[Optional[Action], Optional[StepInfo]]]:
         """Decide for several independent observations in ONE batched forward.
 
@@ -598,8 +654,12 @@ class DecimaAgent(Module, Scheduler):
         caches — batching is pure throughput, never a behaviour change (see
         ``docs/ARCHITECTURE.md``, "Serving layer").
 
-        ``rngs`` / ``graph_caches`` align with ``observations``; entries may be
-        ``None``.  Observations with no schedulable node yield ``(None, None)``.
+        ``rngs`` / ``graph_caches`` / ``spans`` align with ``observations``;
+        entries may be ``None``.  Observations with no schedulable node yield
+        ``(None, None)``.  Traced observations' parent ``spans`` each receive
+        the merged forward's four stage timings as child spans (the stages ran
+        once for the whole batch, so every traced decision sees the same
+        stage breakdown — which is the truth of the batched data path).
         """
         rngs = rngs if rngs is not None else [None] * len(observations)
         graph_caches = (
@@ -627,7 +687,7 @@ class DecimaAgent(Module, Scheduler):
         if not active:
             return results
         fast = self._use_data_path(training)
-        t0 = time.perf_counter()
+        clock = self.stage_timings.clock(spans if spans is not None else ())
         components = [
             self.build_features(
                 observations[index],
@@ -640,7 +700,7 @@ class DecimaAgent(Module, Scheduler):
             components, structure_cache=merge_cache, reuse_buffers=fast
         )
         graph = batch.features
-        t1 = time.perf_counter()
+        clock.mark()
         if fast:
             node_emb, job_emb, global_emb = self.gnn.forward_data(graph)
             embeddings = GraphEmbeddings(
@@ -648,7 +708,7 @@ class DecimaAgent(Module, Scheduler):
                 job_embeddings=Tensor(job_emb),
                 global_embedding=Tensor(global_emb),
             )
-            t2 = time.perf_counter()
+            clock.mark()
             node_logits = Tensor(
                 self.policy.node_logits_data(
                     graph,
@@ -661,9 +721,9 @@ class DecimaAgent(Module, Scheduler):
             )
         else:
             embeddings = self.gnn(graph)
-            t2 = time.perf_counter()
+            clock.mark()
             node_logits = self.policy.node_logits(graph, embeddings)
-        t3 = time.perf_counter()
+        clock.mark()
 
         # Phase 1: per-session stage selection (each session's own rng draw).
         stage_choices: list = []  # (index, node, job_index, log_prob, entropy)
@@ -738,8 +798,7 @@ class DecimaAgent(Module, Scheduler):
             )
             info = StepInfo(log_prob=log_prob, entropy=entropy) if training else None
             results[index] = (action, info)
-        t4 = time.perf_counter()
-        self.stage_timings.add(t1 - t0, t2 - t1, t3 - t2, t4 - t3)
+        clock.finish()
         return results
 
     @staticmethod

@@ -26,6 +26,7 @@ background thread; tests and the differential harness call
 
 from __future__ import annotations
 
+import logging
 import threading
 from dataclasses import dataclass, field
 from typing import Optional
@@ -33,11 +34,14 @@ from typing import Optional
 import numpy as np
 
 from ..core.checkpoints import CheckpointStore, agent_spec, build_agent
+from ..obs import get_logger, log_event
 from ..service.batcher import RequestBroker
 from .buffer import ExperienceCollector, ReplayBuffer
 from .trainer import OnlineReinforceTrainer, OnlineTrainerConfig, OnlineTrainerPool
 
 __all__ = ["OnlineLearningConfig", "OnlineLearningManager", "RolloutGuard"]
+
+_logger = get_logger("learning.manager")
 
 
 class RolloutGuard:
@@ -172,6 +176,8 @@ class OnlineLearningManager:
         self.last_update_stats: Optional[dict] = None
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
+        self._metrics_registered = False
+        self._register_learning_metrics()
         self._publish_learning_info()
 
     # ------------------------------------------------------------ target I/O
@@ -214,6 +220,71 @@ class OnlineLearningManager:
         router = getattr(self.target, "router", None)
         if router is not None:
             router.learning_info = self.learning_info()
+        # A fleet's router only exists after start(); attach the learning
+        # collector as soon as there is a registry to attach it to.
+        self._register_learning_metrics()
+
+    # --------------------------------------------------------- observability
+    def _metrics_registry(self):
+        """The registry nearest this target: the server's own for in-process
+        targets, the router's for a fleet (shard registries live in the shard
+        processes and are scraped over the control plane instead)."""
+        if self._is_fleet:
+            return getattr(getattr(self.target, "router", None), "metrics", None)
+        return getattr(self.target, "metrics", None)
+
+    def _flight(self):
+        if self._is_fleet:
+            return getattr(getattr(self.target, "router", None), "flight", None)
+        return getattr(self.target, "flight", None)
+
+    def _register_learning_metrics(self) -> None:
+        if self._metrics_registered:
+            return
+        registry = self._metrics_registry()
+        if registry is None:
+            return  # bare broker target, or fleet whose router is not up yet
+        registry.register_collector(self._collect_learning_metrics)
+        self._metrics_registered = True
+
+    def _collect_learning_metrics(self) -> dict:
+        def family(kind: str, help_text: str, value) -> dict:
+            return {
+                "type": kind,
+                "help": help_text,
+                "samples": [{"labels": {}, "value": float(value)}],
+            }
+
+        buffer = self.buffer.stats()
+        return {
+            "learning_updates_total": family(
+                "counter", "Background REINFORCE updates applied.",
+                self.num_updates_applied,
+            ),
+            "learning_rollbacks_total": family(
+                "counter", "Guard-triggered policy rollbacks.", self.num_rollbacks
+            ),
+            "learning_guard_armed": family(
+                "gauge", "1 while a fresh version is on probation.",
+                1.0 if self.guard.armed else 0.0,
+            ),
+            "learning_checkpoint_version": family(
+                "gauge", "Checkpoint version currently published.",
+                self.current_checkpoint_version,
+            ),
+            "learning_buffer_episodes": family(
+                "gauge", "Complete episodes in the replay buffer.",
+                buffer["num_episodes"],
+            ),
+            "learning_buffer_pending_steps": family(
+                "gauge", "Steps awaiting episode cut in the replay buffer.",
+                buffer["num_pending_steps"],
+            ),
+            "learning_buffer_steps_added_total": family(
+                "counter", "Experience steps pumped into the replay buffer.",
+                buffer["num_steps_added"],
+            ),
+        }
 
     # ------------------------------------------------------------- the loop
     def pump(self) -> int:
@@ -235,12 +306,24 @@ class OnlineLearningManager:
                 status["action"] = "guard-pending"
                 return status
             if verdict == "fail":
+                log_event(
+                    _logger,
+                    "probation_verdict",
+                    verdict="fail",
+                    policy_version=self._serving_version,
+                )
                 self.rollback()
                 status["action"] = "rollback"
                 status["policy_version"] = self._serving_version
                 return status
             # Clean probation: the running version becomes the rollback
             # anchor for the next one.
+            log_event(
+                _logger,
+                "probation_verdict",
+                verdict="pass",
+                policy_version=self._serving_version,
+            )
             self.guard.disarm()
             self._last_good_state = self._current_state
             self._last_good_checkpoint = self.current_checkpoint_version
@@ -258,6 +341,19 @@ class OnlineLearningManager:
         self._install(new_state, self._serving_version + 1)
         self.guard.arm(snapshot)
         self.num_updates_applied += 1
+        log_event(
+            _logger,
+            "checkpoint_installed",
+            policy_version=self._serving_version,
+            checkpoint_version=info.version,
+        )
+        flight = self._flight()
+        if flight is not None:
+            flight.record(
+                "checkpoint_installed",
+                policy_version=self._serving_version,
+                checkpoint_version=info.version,
+            )
         status["action"] = "update"
         status["policy_version"] = self._serving_version
         status["checkpoint_version"] = info.version
@@ -268,11 +364,29 @@ class OnlineLearningManager:
     def rollback(self) -> int:
         """Republish the last good weights under a fresh policy version."""
         self.guard.disarm()
+        rolled_back_from = self._serving_version
         self._current_state = self._last_good_state
         self.previous_checkpoint_version = self.current_checkpoint_version
         self.current_checkpoint_version = self._last_good_checkpoint
         self._install(self._last_good_state, self._serving_version + 1)
         self.num_rollbacks += 1
+        log_event(
+            _logger,
+            "policy_rollback",
+            level=logging.WARNING,
+            from_version=rolled_back_from,
+            to_version=self._serving_version,
+            checkpoint_version=self._last_good_checkpoint,
+        )
+        flight = self._flight()
+        if flight is not None:
+            flight.record(
+                "policy_rollback",
+                from_version=rolled_back_from,
+                to_version=self._serving_version,
+                checkpoint_version=self._last_good_checkpoint,
+            )
+            flight.dump("slo_guard_rollback")
         self._publish_learning_info()
         return self._serving_version
 

@@ -1,0 +1,90 @@
+"""Structured JSON logging on stdlib ``logging`` — zero deps, zero config tax.
+
+Library code logs through :func:`log_event` under the ``repro.*`` namespace
+and never attaches handlers; until an application calls
+:func:`configure_logging` (or wires its own handler), records propagate to
+the root logger's default of nothing, so an unconfigured import costs one
+``isEnabledFor`` check per event.  Once configured, every event is a single
+JSON object per line — machine-parseable session opens, checkpoint installs,
+probation verdicts, admission rejections.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Optional
+
+__all__ = ["JsonLogFormatter", "get_logger", "log_event", "configure_logging"]
+
+_ROOT_NAME = "repro"
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per record; event fields from ``extra`` flatten in."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": getattr(record, "event", record.getMessage()),
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            for key, value in fields.items():
+                if key not in payload:
+                    payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the shared ``repro`` namespace (``repro.<name>``)."""
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def log_event(
+    logger: logging.Logger, event: str, level: int = logging.INFO, **fields
+) -> None:
+    """Emit one structured event if the logger is enabled.
+
+    The ``isEnabledFor`` guard keeps unconfigured processes at a single
+    cheap check — no record object, no field dict formatting.
+    """
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra={"event": event, "fields": fields})
+
+
+def configure_logging(
+    level: int = logging.INFO, stream=None, logger_name: str = _ROOT_NAME
+) -> logging.Logger:
+    """Attach a JSON-lines handler to the ``repro`` namespace.
+
+    Application entry points (examples, CI drivers) call this once;
+    idempotent so repeated calls (tests, re-exec'd shards) don't stack
+    duplicate handlers.
+    """
+    logger = logging.getLogger(logger_name)
+    logger.setLevel(level)
+    target = stream if stream is not None else sys.stderr
+    for handler in logger.handlers:
+        if getattr(handler, "_repro_json", False) and getattr(
+            handler, "stream", None
+        ) is target:
+            return logger
+    handler = logging.StreamHandler(target)
+    handler.setFormatter(JsonLogFormatter())
+    handler._repro_json = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger
+
+
+def timestamp() -> float:
+    return time.time()

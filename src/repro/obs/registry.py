@@ -1,0 +1,382 @@
+"""The metrics registry: one snapshot API over every operational counter.
+
+Before this module, operational state lived in five bespoke ``stats()`` dict
+schemas (session, broker, breaker, replay buffer, ``StageTimings``) that only
+existed when polled and disagreed on key names and units.  The registry is
+the single place those numbers now surface: components either own explicit
+:class:`Counter` / :class:`Gauge` / :class:`Histogram` instruments, or — for
+hot-path counters that must stay plain Python ints — register a *collector*
+callback that translates their internal state into samples at snapshot time.
+Collectors are the reason telemetry stays off the decision path: the broker
+keeps bumping the same bare attributes it always did, and the registry reads
+them only when someone actually scrapes.
+
+Snapshots are JSON-ready dicts (the control plane ships them in ``metrics``
+replies) and render to the Prometheus text exposition format via
+:func:`render_prometheus`, so the same endpoint feeds both the repo's own
+ops tooling and a real scrape pipeline.
+
+Lock discipline: instrument *creation* takes the registry lock; *updates* are
+plain attribute writes.  Under CPython's GIL a bare ``+=`` on an int can lose
+an increment only when two threads race the same instrument, which the
+serving stack never does (each instrument has a single writer: the dispatch
+thread, the event loop, or the manager loop).  That is the "lock-cheap"
+contract: reads may be momentarily stale, updates never block the hot path.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "render_prometheus",
+    "summarize_snapshot",
+]
+
+# Fixed decision-latency buckets (milliseconds).  Fixed — not adaptive — so
+# bucket series from different shards, runs and versions are always mergeable.
+DEFAULT_LATENCY_BUCKETS_MS = (
+    0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0,
+)
+
+
+def _label_key(label_names: Sequence[str], labels: dict) -> tuple:
+    if set(labels) != set(label_names):
+        raise ValueError(
+            f"expected labels {tuple(label_names)}, got {tuple(sorted(labels))}"
+        )
+    return tuple(str(labels[name]) for name in label_names)
+
+
+class _Instrument:
+    """Shared identity of one named metric family."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", label_names: Sequence[str] = ()):
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+
+    def _samples(self) -> list:
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "samples": self._samples(),
+        }
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count (events, decisions, errors)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", label_names: Sequence[str] = ()):
+        super().__init__(name, help, label_names)
+        self._values: dict[tuple, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(self.label_names, labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        return self._values.get(_label_key(self.label_names, labels), 0.0)
+
+    def _samples(self) -> list:
+        return [
+            {"labels": dict(zip(self.label_names, key)), "value": value}
+            for key, value in sorted(self._values.items())
+        ]
+
+
+class Gauge(_Instrument):
+    """A value that can go both ways (live sessions, buffer occupancy)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", label_names: Sequence[str] = ()):
+        super().__init__(name, help, label_names)
+        self._values: dict[tuple, float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        self._values[_label_key(self.label_names, labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = _label_key(self.label_names, labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        return self._values.get(_label_key(self.label_names, labels), 0.0)
+
+    def _samples(self) -> list:
+        return [
+            {"labels": dict(zip(self.label_names, key)), "value": value}
+            for key, value in sorted(self._values.items())
+        ]
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket distribution (decision latency, batch sizes).
+
+    Buckets are cumulative upper bounds, Prometheus-style; an implicit
+    ``+Inf`` bucket always exists.  ``observe`` is a linear scan over a
+    handful of bounds — no allocation, no lock.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS,
+        label_names: Sequence[str] = (),
+    ):
+        super().__init__(name, help, label_names)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self.bounds = bounds
+        # key -> (per-bucket counts incl. +Inf, sum, count)
+        self._series: dict[tuple, list] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(self.label_names, labels)
+        series = self._series.get(key)
+        if series is None:
+            series = [[0] * (len(self.bounds) + 1), 0.0, 0]
+            self._series[key] = series
+        counts, _, _ = series
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                counts[index] += 1
+                break
+        else:
+            counts[len(self.bounds)] += 1
+        series[1] += value
+        series[2] += 1
+
+    def _samples(self) -> list:
+        samples = []
+        for key, (counts, total, count) in sorted(self._series.items()):
+            cumulative, buckets = 0, []
+            for bound, bucket_count in zip(self.bounds, counts):
+                cumulative += bucket_count
+                buckets.append([bound, cumulative])
+            buckets.append(["+Inf", count])
+            samples.append(
+                {
+                    "labels": dict(zip(self.label_names, key)),
+                    "buckets": buckets,
+                    "sum": total,
+                    "count": count,
+                }
+            )
+        return samples
+
+
+class MetricsRegistry:
+    """Create instruments, run collectors, produce one merged snapshot."""
+
+    def __init__(self, namespace: str = "decima"):
+        self.namespace = namespace
+        self._lock = threading.Lock()
+        self._instruments: dict[str, _Instrument] = {}
+        self._collectors: list[Callable[[], dict]] = []
+
+    # ------------------------------------------------------------ instruments
+    def _register(self, instrument: _Instrument) -> _Instrument:
+        with self._lock:
+            existing = self._instruments.get(instrument.name)
+            if existing is not None:
+                if type(existing) is not type(instrument):
+                    raise ValueError(
+                        f"metric {instrument.name!r} already registered as "
+                        f"{existing.kind}"
+                    )
+                return existing
+            self._instruments[instrument.name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Counter:
+        return self._register(Counter(name, help, labels))  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge(name, help, labels))  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS,
+        labels: Sequence[str] = (),
+    ) -> Histogram:
+        return self._register(Histogram(name, help, buckets, labels))  # type: ignore[return-value]
+
+    # ------------------------------------------------------------- collectors
+    def register_collector(self, collector: Callable[[], dict]) -> None:
+        """Register a callback run at snapshot time.
+
+        The callback returns a snapshot *fragment*: ``{metric_name:
+        {"type", "help", "samples": [...]}}`` — the shape
+        :meth:`snapshot` itself produces.  This is the bridge for hot-path
+        components whose counters must stay plain attributes: zero cost per
+        decision, translated only when scraped.
+        """
+        with self._lock:
+            self._collectors.append(collector)
+
+    # --------------------------------------------------------------- snapshot
+    def snapshot(self) -> dict:
+        """Every instrument + collector output as one JSON-ready dict."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+            collectors = list(self._collectors)
+        merged: dict[str, dict] = {}
+        for instrument in instruments:
+            merged[instrument.name] = instrument.describe()
+        for collector in collectors:
+            for name, family in collector().items():
+                existing = merged.get(name)
+                if existing is None:
+                    merged[name] = family
+                else:
+                    existing["samples"] = list(existing["samples"]) + list(
+                        family["samples"]
+                    )
+        return merged
+
+    def prometheus(self, extra_labels: Optional[dict] = None) -> str:
+        """The snapshot in Prometheus text exposition format."""
+        return render_prometheus(
+            self.snapshot(), namespace=self.namespace, extra_labels=extra_labels
+        )
+
+
+# ------------------------------------------------------------------ rendering
+def _format_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        '{}="{}"'.format(
+            name,
+            str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n"),
+        )
+        for name, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(
+    snapshot: dict, namespace: str = "decima", extra_labels: Optional[dict] = None
+) -> str:
+    """Render a snapshot (or a merged set of them) as Prometheus text.
+
+    ``extra_labels`` is attached to every sample — the router uses it to tag
+    each shard's snapshot with ``shard="N"`` before concatenating, so one
+    scrape of the control plane sees the whole fleet with standard labels.
+    """
+    extra = dict(extra_labels or {})
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        full_name = f"{namespace}_{name}" if namespace else name
+        if family.get("help"):
+            lines.append(f"# HELP {full_name} {family['help']}")
+        lines.append(f"# TYPE {full_name} {family.get('type', 'untyped')}")
+        for sample in family.get("samples", []):
+            labels = {**sample.get("labels", {}), **extra}
+            if family.get("type") == "histogram":
+                for bound, count in sample["buckets"]:
+                    bucket_labels = {**labels, "le": bound}
+                    lines.append(
+                        f"{full_name}_bucket{_format_labels(bucket_labels)} {count}"
+                    )
+                lines.append(f"{full_name}_sum{_format_labels(labels)} {sample['sum']}")
+                lines.append(
+                    f"{full_name}_count{_format_labels(labels)} {sample['count']}"
+                )
+            else:
+                lines.append(f"{full_name}{_format_labels(labels)} {sample['value']}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _sample_value(snapshot: dict, name: str, labels: Optional[dict] = None):
+    family = snapshot.get(name)
+    if not family:
+        return None
+    for sample in family.get("samples", []):
+        if labels is None or all(
+            sample.get("labels", {}).get(k) == v for k, v in labels.items()
+        ):
+            return sample.get("value", sample.get("count"))
+    return None
+
+
+def summarize_snapshot(snapshot: dict) -> str:
+    """One human-readable ops line from a registry snapshot.
+
+    The shared live-surface formatter: ``run_policy_server.py
+    --stats-interval`` and the loadgen's ``--watch`` mode both print this
+    instead of hand-rolled dicts.  Missing series degrade to ``-`` so the
+    line works against any subset of the serving stack.
+    """
+
+    def fmt(value, spec="{:.0f}"):
+        return "-" if value is None else spec.format(value)
+
+    version = _sample_value(snapshot, "policy_version")
+    decisions = _sample_value(snapshot, "decisions_total")
+    fallbacks = _sample_value(snapshot, "fallback_decisions_total")
+    sessions = _sample_value(snapshot, "sessions_open")
+    delta = _sample_value(snapshot, "graph_delta_refreshes_total")
+    full = _sample_value(snapshot, "graph_full_refreshes_total")
+    rebuilds = _sample_value(snapshot, "graph_rebuilds_total")
+    parts = [
+        f"v{fmt(version)}",
+        f"sessions={fmt(sessions)}",
+        f"decisions={fmt(decisions)} (fallback {fmt(fallbacks)})",
+        f"features: {fmt(delta)} delta / {fmt(full)} full / {fmt(rebuilds)} rebuilds",
+    ]
+    stage_family = snapshot.get("stage_mean_ms")
+    if stage_family and stage_family.get("samples"):
+        stages = " ".join(
+            f"{sample['labels'].get('stage', '?')} {sample['value']:.2f}"
+            for sample in stage_family["samples"]
+        )
+        parts.append(f"stage ms/step: {stages}")
+    latency = snapshot.get("decision_latency_ms")
+    if latency and latency.get("samples"):
+        sample = latency["samples"][0]
+        if sample["count"]:
+            parts.append(
+                f"latency mean {sample['sum'] / sample['count']:.2f} ms "
+                f"(n={sample['count']})"
+            )
+    return " | ".join(parts)
+
+
+def histogram_family_from_stats(stats: dict, help: str = "") -> dict:
+    """Adapt a :func:`repro.simulator.metrics.latency_histogram` dict into a
+    snapshot family (gauge samples per quantile) — the deprecation bridge for
+    code still holding the old five-schema stat dicts."""
+    samples = []
+    for key in ("p50", "p95", "p99", "mean", "max"):
+        value = stats.get(key)
+        if value is not None:
+            samples.append({"labels": {"quantile": key}, "value": float(value)})
+    return {"type": "gauge", "help": help, "samples": samples}

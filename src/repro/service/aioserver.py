@@ -166,6 +166,14 @@ class AsyncPolicyServer(ServerCore):
                         await self._handle_decide(writer, session, message)
                     elif kind == "stats":
                         await self._write(writer, self.stats_payload(session))
+                    elif kind == "metrics":
+                        await self._write(writer, self.metrics_payload(message))
+                    elif kind == "trace":
+                        await self._write(writer, self.trace_payload(message))
+                    elif kind == "trace_report":
+                        await self._write(writer, self.record_spans(message))
+                    elif kind == "flight":
+                        await self._write(writer, self.flight_payload(message))
                     elif kind == "bye":
                         await self._write(writer, {"type": "goodbye"})
                         return
@@ -206,6 +214,7 @@ class AsyncPolicyServer(ServerCore):
         except RuntimeError as error:  # set_exception on shutdown
             await self._write(writer, {"type": "error", "message": str(error)})
             return
+        self.finish_request(request, result)
         await self._write(writer, self.action_reply(session, message, result))
 
     # --------------------------------------------------------------- dispatch

@@ -130,6 +130,10 @@ class CircuitBreaker:
         self.num_opens = 0
         self._consecutive_breaches = 0
         self._cooldown_remaining = 0
+        # Observability hook: called (with this breaker) every time the
+        # breaker trips open — the server wires it to the flight recorder so
+        # an SLO trip auto-dumps the events leading up to it.
+        self.on_open: Optional[Callable[["CircuitBreaker"], None]] = None
 
     def allow_policy(self) -> bool:
         """True when the next decision should try the policy path.
@@ -166,6 +170,8 @@ class CircuitBreaker:
         self._cooldown_remaining = self.cooldown_decisions
         self._consecutive_breaches = 0
         self.num_opens += 1
+        if self.on_open is not None:
+            self.on_open(self)
 
     def stats(self) -> dict:
         return {
@@ -183,6 +189,10 @@ class DecisionRequest:
     session: SessionState
     observation: Observation
     request_id: Optional[int] = None
+    # Traced requests carry the transport layer's open span (the parent under
+    # which the broker files its own work); untraced requests leave it None
+    # and the broker never touches the tracing subsystem.
+    span: Optional[object] = None
 
 
 @dataclass
@@ -246,6 +256,12 @@ class RequestBroker:
         self.graph_full_refreshes = 0
         self.graph_rebuilds = 0
         self._cache_marks: dict[int, tuple[int, int, int]] = {}
+        # Observability seams, wired by the hosting server (None = dark):
+        # ``flight`` is the shard's FlightRecorder (decision-round / swap
+        # events), ``latency_metric`` a registry Histogram fed one
+        # millisecond sample per answered decision.
+        self.flight = None
+        self.latency_metric = None
 
     # ----------------------------------------------------------------- swaps
     def install(self, state: dict, version: int) -> None:
@@ -279,14 +295,30 @@ class RequestBroker:
         if pending is None:
             return
         state, version = pending
+        previous = self.policy_version
         self.agent.load_state_dict(state)
         self.policy_version = version
         self.num_policy_swaps += 1
+        if self.flight is not None:
+            self.flight.record(
+                "policy_swap", from_version=previous, to_version=version
+            )
 
     # ----------------------------------------------------------------- policy
+    def _broker_span(self, request: DecisionRequest, name: str):
+        """Child span under the transport's request span (None when untraced)."""
+        parent = request.span
+        if parent is None:
+            return None
+        span = parent.child(name)
+        span.set_tag("session_id", request.session.session_id)
+        return span
+
     def _policy_batched(
         self, requests: Sequence[DecisionRequest], record_to_breaker: bool
     ) -> list[DecisionResult]:
+        spans = [self._broker_span(request, "broker.decide") for request in requests]
+        traced = any(span is not None for span in spans)
         start = time.perf_counter()
         decisions = self.agent.act_batch(
             [request.observation for request in requests],
@@ -294,40 +326,56 @@ class RequestBroker:
             graph_caches=[request.session.graph_cache for request in requests],
             greedy=self.greedy,
             merge_cache=self.merge_cache,
+            spans=spans if traced else None,
         )
         elapsed = time.perf_counter() - start
         # The batch ran as one forward: every request experienced its latency.
         if record_to_breaker and self.breaker is not None:
             self.breaker.record_policy(elapsed)
         results = []
-        for request, (action, _) in zip(requests, decisions):
+        for request, span, (action, _) in zip(requests, spans, decisions):
             request.session.record_decision("policy", elapsed)
+            if span is not None:
+                span.set_tag("source", "policy")
+                span.set_tag("batch_size", len(requests))
+                span.set_tag("policy_version", self.policy_version)
+                span.finish(duration_ms=elapsed * 1000.0)
             results.append(DecisionResult(action, "policy", elapsed))
         return results
 
     def _policy_serial(
         self, request: DecisionRequest, record_to_breaker: bool
     ) -> DecisionResult:
+        span = self._broker_span(request, "broker.decide")
         start = time.perf_counter()
         action, _ = self.agent.act(
             request.observation,
             rng=request.session.rng,
             greedy=self.greedy,
             graph_cache=request.session.graph_cache,
+            span=span,
         )
         elapsed = time.perf_counter() - start
         if record_to_breaker and self.breaker is not None:
             self.breaker.record_policy(elapsed)
         request.session.record_decision("policy", elapsed)
+        if span is not None:
+            span.set_tag("source", "policy")
+            span.set_tag("policy_version", self.policy_version)
+            span.finish(duration_ms=elapsed * 1000.0)
         return DecisionResult(action, "policy", elapsed)
 
     def _fallback(self, request: DecisionRequest) -> DecisionResult:
+        span = self._broker_span(request, "broker.fallback")
         start = time.perf_counter()
         action = request.session.fallback.schedule(request.observation)
         elapsed = time.perf_counter() - start
         if self.breaker is not None:
             self.breaker.record_fallback()
         request.session.record_decision("fallback", elapsed)
+        if span is not None:
+            span.set_tag("source", "fallback")
+            span.finish(duration_ms=elapsed * 1000.0)
         return DecisionResult(action, "fallback", elapsed)
 
     # ----------------------------------------------------------------- decide
@@ -408,11 +456,31 @@ class RequestBroker:
             if result.source == "fallback":
                 self.num_fallback_decisions += 1
             self.latencies.append(result.latency_seconds)
+            if self.latency_metric is not None:
+                self.latency_metric.observe(result.latency_seconds * 1000.0)
             if (
                 self.breaker is not None
                 and result.latency_seconds > self.breaker.slo_seconds
             ):
                 self.num_slo_breaches += 1
+        if self.flight is not None and requests:
+            # One ring event per decision round (not per request) keeps the
+            # recorder O(batches): the round is the broker's unit of work.
+            sources: dict = {}
+            for result in results:
+                if result is not None:
+                    sources[result.source] = sources.get(result.source, 0) + 1
+            self.flight.record(
+                "decision_round",
+                batch_size=len(requests),
+                sources=sources,
+                policy_version=self.policy_version,
+                max_latency_ms=max(
+                    (r.latency_seconds for r in results if r is not None),
+                    default=0.0,
+                )
+                * 1000.0,
+            )
         for request in requests:
             cache = request.session.graph_cache
             current = (

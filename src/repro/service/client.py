@@ -19,6 +19,7 @@ from __future__ import annotations
 import socket
 from typing import Iterable, Optional
 
+from ..obs import Span
 from ..simulator.environment import Action, Observation, SchedulingEnvironment
 from ..simulator.jobdag import JobDAG
 from .protocol import (
@@ -113,8 +114,23 @@ class PolicyClient(_LineClient):
         self.policy_version = reply.get("policy_version")
         return reply
 
-    def decide(self, observation: Observation, request_id: Optional[int] = None) -> dict:
-        """One scheduling decision for ``observation`` (an ``action`` reply)."""
+    def decide(
+        self,
+        observation: Observation,
+        request_id: Optional[int] = None,
+        trace: bool = False,
+    ) -> dict:
+        """One scheduling decision for ``observation`` (an ``action`` reply).
+
+        With ``trace=True`` (protocol 3) the decision is traced end-to-end:
+        a ``client.decide`` span is minted here, its context rides the wire
+        so every hop (router, shard, broker, model stages) files child spans,
+        and after the reply the finished client span is reported back to the
+        server's span store.  The reply then carries ``"trace_id"`` — query
+        it via :meth:`ControlClient.trace` (fleet) or a data-plane ``trace``
+        request.  Tracing costs one extra round-trip per decision; leave it
+        off on the hot path and sample instead.
+        """
         payload = {
             "type": "decide",
             "session_id": self.session_id,
@@ -122,13 +138,45 @@ class PolicyClient(_LineClient):
         }
         if request_id is not None:
             payload["request_id"] = int(request_id)
+        span = None
+        if trace:
+            span = Span(
+                "client.decide",
+                service="client",
+                tags={"session_id": self.session_id},
+            )
+            payload["trace"] = span.context()
         reply = self.request(payload)
         if "policy_version" in reply:
             self.policy_version = reply["policy_version"]
+        if span is not None:
+            span.set_tag("source", reply.get("source"))
+            span.finish()
+            # File the client half of the trace where the rest of it lives.
+            try:
+                self.request(
+                    {"type": "trace_report", "spans": [span.to_dict()]}
+                )
+            except ProtocolError:
+                pass  # pre-v3 server: the trace is just server-side
+            reply = dict(reply)
+            reply["trace_id"] = span.trace_id
         return reply
 
     def stats(self) -> dict:
         return self.request({"type": "stats"})
+
+    def metrics(self, format: str = "json") -> dict:
+        """This server's metrics-registry snapshot (JSON or Prometheus)."""
+        return self.request({"type": "metrics", "format": format})
+
+    def trace(self, trace_id: str) -> dict:
+        """Every span this server stored for ``trace_id``."""
+        return self.request({"type": "trace", "trace_id": str(trace_id)})
+
+    def flight(self, reason: str = "on_demand", dump: bool = True) -> dict:
+        """Dump (or with ``dump=False`` peek at) the server's flight ring."""
+        return self.request({"type": "flight", "reason": reason, "dump": dump})
 
 
 class ControlClient(_LineClient):
@@ -151,6 +199,24 @@ class ControlClient(_LineClient):
         """Live reconfiguration, e.g. ``reconfigure(max_sessions=32)`` or
         ``reconfigure(shard=1, draining=True)``."""
         return self.request({"type": "reconfigure", **changes})
+
+    def metrics(self, format: str = "json") -> dict:
+        """Fleet-wide registry scrape: the router's plus every shard's.
+
+        ``format="prometheus"`` returns one text exposition with per-shard
+        labels in ``reply["body"]``; JSON keeps the snapshots separate under
+        ``reply["router"]`` / ``reply["shards"]``.
+        """
+        return self.request({"type": "metrics", "format": format})
+
+    def trace(self, trace_id: str) -> dict:
+        """One trace id's spans from the router and every shard, merged and
+        sorted by start time — the end-to-end story of one decision."""
+        return self.request({"type": "trace", "trace_id": str(trace_id)})
+
+    def flight(self, reason: str = "on_demand") -> dict:
+        """Dump the router's flight ring and every shard's, in one reply."""
+        return self.request({"type": "flight", "reason": reason})
 
 
 def decode_action(reply: dict, observation: Observation) -> Optional[Action]:
@@ -178,28 +244,38 @@ def drive_episode(
     jobs: Iterable[JobDAG],
     seed: Optional[int] = None,
     max_decisions: Optional[int] = None,
+    trace_every: Optional[int] = None,
 ) -> dict:
     """Run one full episode with every decision served remotely.
 
     Returns a summary: decision counts by source, per-request latencies (as
     measured by the *server*), and the episode's scheduling outcome.
+
+    ``trace_every=N`` traces every Nth decision end-to-end (see
+    :meth:`PolicyClient.decide`); the minted trace ids come back under
+    ``"trace_ids"`` so a caller (the loadgen, a test) can reconstruct those
+    decisions from the control plane.
     """
     observation = environment.reset(jobs, seed=seed)
     decisions = 0
     sources: dict[str, int] = {}
     latencies_ms: list[float] = []
+    trace_ids: list[str] = []
     done = False
     while not done:
         if max_decisions is not None and decisions >= max_decisions:
             break
-        reply = client.decide(observation, request_id=decisions)
+        traced = trace_every is not None and decisions % trace_every == 0
+        reply = client.decide(observation, request_id=decisions, trace=traced)
         action = decode_action(reply, observation)
         sources[reply["source"]] = sources.get(reply["source"], 0) + 1
         latencies_ms.append(float(reply["latency_ms"]))
+        if traced and "trace_id" in reply:
+            trace_ids.append(reply["trace_id"])
         observation, _, done = environment.step(action)
         decisions += 1
     result = environment.result()
-    return {
+    summary = {
         "decisions": decisions,
         "sources": sources,
         "latencies_ms": latencies_ms,
@@ -207,3 +283,6 @@ def drive_episode(
         "unfinished_jobs": len(result.unfinished_jobs),
         "wall_time": result.wall_time,
     }
+    if trace_ids:
+        summary["trace_ids"] = trace_ids
+    return summary

@@ -62,6 +62,13 @@ class ServingConfig:
     # Online learning (fleet only): record per-decision experience in each
     # shard so an OnlineLearningManager can drain it for background updates.
     collect_experience: bool = False
+    # Observability (see docs/OBSERVABILITY.md): where flight-recorder dumps
+    # are written (None = in-memory only, or the DECIMA_FLIGHT_DIR env), how
+    # many events each recorder ring holds, and how many traces each span
+    # store retains.
+    flight_dir: Optional[str] = None
+    flight_capacity: int = 512
+    trace_capacity: int = 256
 
     def __post_init__(self) -> None:
         if self.transport not in _TRANSPORTS:
@@ -83,6 +90,9 @@ class ServingConfig:
             "max_batch_size": self.max_batch_size,
             "batch_window_ms": self.batch_window_ms,
             "adaptive_batch_window": self.adaptive_batch_window,
+            "flight_dir": self.flight_dir,
+            "flight_capacity": self.flight_capacity,
+            "trace_capacity": self.trace_capacity,
         }
 
     def resolve_agent(self, agent: Optional[DecimaAgent] = None) -> DecimaAgent:

@@ -163,10 +163,15 @@ class ServingFleet:
         try:
             for index in range(self.num_shards):
                 parent_conn, child_conn = self._context.Pipe()
+                # Each shard names itself in telemetry (spans, flight dumps,
+                # structured logs) so fleet-wide scrapes stay attributable.
+                shard_kwargs = dict(
+                    self.server_kwargs, service_name=f"shard-{index}"
+                )
                 process = self._context.Process(
                     target=_shard_main,
                     args=(child_conn, self._spec, self._state, self.host,
-                          self.server_kwargs, self.collect_experience),
+                          shard_kwargs, self.collect_experience),
                     name=f"policy-shard-{index}",
                     daemon=True,
                 )
@@ -187,6 +192,9 @@ class ServingFleet:
                 port=self.port,
                 control_port=self.control_port,
                 max_sessions=self.max_sessions,
+                flight_dir=self.server_kwargs.get("flight_dir"),
+                flight_capacity=self.server_kwargs.get("flight_capacity", 512),
+                trace_capacity=self.server_kwargs.get("trace_capacity", 256),
             )
             self.router.start()
         except Exception:

@@ -38,9 +38,15 @@ def run_load(
     seed: int = 0,
     fallback: Optional[str] = None,
     max_episodes_per_session: int = 50,
+    trace_every: Optional[int] = None,
 ) -> dict:
     """Drive ``num_sessions`` concurrent sessions until the fleet has made
-    at least ``min_total_decisions`` decisions; returns the traffic summary."""
+    at least ``min_total_decisions`` decisions; returns the traffic summary.
+
+    ``trace_every=N`` end-to-end traces every Nth decision of each episode;
+    the minted trace ids land in the summary under ``"trace_ids"`` for
+    control-plane reconstruction (extra round-trip per traced decision).
+    """
     if num_sessions < 1:
         raise ValueError("need at least one session")
     total = {"decisions": 0}
@@ -50,7 +56,13 @@ def run_load(
 
     def session_main(index: int) -> None:
         rng = np.random.default_rng([seed, index])
-        summary = {"decisions": 0, "episodes": 0, "sources": {}, "latencies_ms": []}
+        summary = {
+            "decisions": 0,
+            "episodes": 0,
+            "sources": {},
+            "latencies_ms": [],
+            "trace_ids": [],
+        }
         try:
             with PolicyClient(host, port) as client:
                 client.hello(
@@ -70,11 +82,13 @@ def run_load(
                         SimulatorConfig(num_executors=num_executors, seed=seed + index)
                     )
                     episode = drive_episode(
-                        client, environment, jobs, seed=seed + index
+                        client, environment, jobs, seed=seed + index,
+                        trace_every=trace_every,
                     )
                     summary["episodes"] += 1
                     summary["decisions"] += episode["decisions"]
                     summary["latencies_ms"].extend(episode["latencies_ms"])
+                    summary["trace_ids"].extend(episode.get("trace_ids", []))
                     for source, count in episode["sources"].items():
                         summary["sources"][source] = (
                             summary["sources"].get(source, 0) + count
@@ -105,7 +119,9 @@ def run_load(
         for source, count in summary["sources"].items():
             sources[source] = sources.get(source, 0) + count
     decisions = sum(summary["decisions"] for summary in summaries)
+    trace_ids = [tid for summary in summaries for tid in summary.get("trace_ids", [])]
     return {
+        **({"trace_ids": trace_ids} if trace_ids else {}),
         "num_sessions": num_sessions,
         "num_jobs_per_episode": num_jobs,
         "num_executors": num_executors,

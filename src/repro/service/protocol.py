@@ -24,11 +24,32 @@ Request types:
     ``(job_id, node_id, parallelism_limit)``, the decision ``source``
     (``"policy"`` or ``"fallback"``), the measured ``latency_ms`` and — since
     protocol 2 — the monotonic ``policy_version`` that answered it (the
-    online-learning audit trail; old clients ignore the extra key).
+    online-learning audit trail; old clients ignore the extra key).  Since
+    protocol 3 a decide may carry an optional ``"trace": {"trace_id",
+    "span_id"}`` context: the server (and every hop in between, see the
+    router) then files its share of the decision as spans under that trace,
+    queryable via ``trace``.  Untraced decides are byte-identical to v2.
 ``stats``
     Reply: per-session decision counts, the latency histogram
     (p50/p95/p99, :func:`repro.simulator.metrics.latency_histogram`) and the
     SLO circuit-breaker state.
+``metrics``
+    (Protocol 3.)  One metrics-registry snapshot:
+    ``{"type": "metrics", "format": "json" | "prometheus"}``.  Reply carries
+    either the JSON snapshot (``"metrics"``) or the Prometheus text
+    exposition (``"body"``) — see :mod:`repro.obs.registry`.
+``trace``
+    (Protocol 3.)  ``{"type": "trace", "trace_id"}`` returns every span this
+    process stored for the trace id.
+``trace_report``
+    (Protocol 3.)  ``{"type": "trace_report", "spans": [...]}`` files
+    client-side finished spans (e.g. ``client.decide``) into the server's
+    span store, completing the end-to-end chain.  Reply: ``trace_reported``.
+``flight``
+    (Protocol 3.)  Dump the flight recorder on demand:
+    ``{"type": "flight", "reason"?, "dump"?}``.  Reply carries the ring's
+    events plus recorder stats; ``"dump": false`` peeks without counting a
+    dump.
 ``bye``
     Close the session; the server replies ``goodbye`` and drops it.
 
@@ -48,8 +69,12 @@ additionally carry a machine-readable ``code``:
 
 The router's **control plane** (a second listener, same framing) speaks
 ``health`` (per-shard liveness probe), ``stats`` (router counters + per-shard
-broker/SLO accounting) and ``reconfigure`` (live admission-limit changes,
-shard drain/undrain) — see :mod:`repro.service.router`.
+broker/SLO accounting), ``reconfigure`` (live admission-limit changes, shard
+drain/undrain) and — protocol 3 — ``metrics`` (router + every shard's
+registry, mergeable with per-shard labels), ``trace`` (router + shard spans
+of one trace id, the fleet-wide reconstruction of a single decision) and
+``flight`` (router + per-shard flight-recorder dumps) — see
+:mod:`repro.service.router`.
 """
 
 from __future__ import annotations
@@ -69,10 +94,13 @@ __all__ = [
 ]
 
 # Version 2 added hello protocol negotiation and policy_version on welcome
-# and action replies.  Both are additive: a v1 client's hello (no "protocol"
-# field) negotiates down to 1 and the extra reply keys are ignorable, so the
-# observation payload format is unchanged and still stamps its own version.
-PROTOCOL_VERSION = 2
+# and action replies.  Version 3 added the observability surface: the
+# optional "trace" context on decide frames and the metrics / trace /
+# trace_report / flight request types.  All additive: a v1 client's hello
+# (no "protocol" field) negotiates down to 1, extra reply keys are
+# ignorable, untraced decides are unchanged, and the observation payload
+# format still stamps its own version.
+PROTOCOL_VERSION = 3
 
 
 class ProtocolError(RuntimeError):

@@ -18,8 +18,10 @@ per-request front that:
 * **exposes a control plane** on a second listener (mirroring the compute /
   control API split of SiNE's channel server): ``health`` actively probes
   every shard, ``stats`` aggregates router counters with each shard's
-  broker/SLO accounting, and ``reconfigure`` changes the admission limit or
-  drains/undrains/revives shards live, without restarting anything.
+  broker/SLO accounting, ``reconfigure`` changes the admission limit or
+  drains/undrains/revives shards live, and the observability commands
+  (``metrics`` / ``trace`` / ``flight``) fan out over every shard to return
+  one fleet-wide registry scrape, span set or flight dump.
 
 Like :class:`~repro.service.aioserver.AsyncPolicyServer`, the router runs
 its event loop in a background thread so the blocking ``start()/stop()``
@@ -34,9 +36,19 @@ import zlib
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from ..obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    SpanStore,
+    get_logger,
+    log_event,
+    render_prometheus,
+)
 from .protocol import ProtocolError, decode_frame, encode_message
 
 __all__ = ["ShardRouter", "ShardState", "shard_for_session"]
+
+_logger = get_logger("service.router")
 
 
 def shard_for_session(session_id: str, num_shards: int) -> int:
@@ -97,6 +109,9 @@ class ShardRouter:
         max_sessions: Optional[int] = None,
         connect_timeout: float = 5.0,
         probe_timeout: float = 2.0,
+        flight_dir: Optional[str] = None,
+        flight_capacity: int = 512,
+        trace_capacity: int = 256,
     ):
         if not shards:
             raise ValueError("a router needs at least one shard address")
@@ -111,6 +126,18 @@ class ShardRouter:
         self.connect_timeout = float(connect_timeout)
         self.probe_timeout = float(probe_timeout)
         self.counters = _RouterCounters()
+        # Router-side observability: its own registry (collector over the
+        # relay counters), span store (the router.forward hop of traced
+        # decisions) and flight recorder (admission rejections, shard
+        # failures, reconfigures; auto-dumped on a shard death).  The control
+        # plane's metrics/trace/flight commands merge these with every
+        # shard's own, so one query sees the whole fleet.
+        self.metrics = MetricsRegistry()
+        self.metrics.register_collector(self._collect_metrics)
+        self.spans = SpanStore(max_traces=int(trace_capacity))
+        self.flight = FlightRecorder(
+            capacity=int(flight_capacity), service="router", dump_dir=flight_dir
+        )
         # Online-learning bookkeeping published through control-plane stats.
         # The learning manager owns the content (current/previous checkpoint
         # version, rollback count); the router just relays the latest dict.
@@ -206,10 +233,83 @@ class ShardRouter:
                 return shard
         return None
 
+    def _collect_metrics(self) -> dict:
+        """Router counters as registry families (read at snapshot time)."""
+
+        def counter(help: str, value) -> dict:
+            return {
+                "type": "counter",
+                "help": help,
+                "samples": [{"labels": {}, "value": float(value)}],
+            }
+
+        counters = self.counters
+        return {
+            "router_sessions_routed_total": counter(
+                "Sessions admitted and placed on a shard", counters.routed_sessions
+            ),
+            "router_sessions_rejected_total": counter(
+                "Sessions refused by admission control", counters.rejected_sessions
+            ),
+            "router_shard_failures_total": counter(
+                "Shard failures observed by the router", counters.shard_failures
+            ),
+            "router_forwarded_frames_total": counter(
+                "Frames relayed shard-ward", counters.forwarded_frames
+            ),
+            "router_reconfigurations_total": counter(
+                "Applied live reconfigurations", counters.reconfigurations
+            ),
+            "router_active_sessions": {
+                "type": "gauge",
+                "help": "Sessions currently live across the fleet",
+                "samples": [{"labels": {}, "value": float(self._active_sessions)}],
+            },
+            "router_healthy_shards": {
+                "type": "gauge",
+                "help": "Shards currently marked healthy",
+                "samples": [
+                    {
+                        "labels": {},
+                        "value": float(
+                            sum(1 for shard in self.shards if shard.healthy)
+                        ),
+                    }
+                ],
+            },
+            "flight_events_total": counter(
+                "Events appended to the router's flight recorder",
+                self.flight.num_events,
+            ),
+            "flight_dumps_total": counter(
+                "Router flight-recorder dumps taken", self.flight.num_dumps
+            ),
+        }
+
     def _mark_failed(self, shard: ShardState) -> None:
+        was_healthy = shard.healthy
         shard.healthy = False
         shard.failures += 1
         self.counters.shard_failures += 1
+        self.flight.record(
+            "shard_failed",
+            shard=shard.index,
+            host=shard.host,
+            port=shard.port,
+            failures=shard.failures,
+        )
+        log_event(
+            _logger,
+            "shard_failed",
+            shard=shard.index,
+            host=shard.host,
+            port=shard.port,
+            failures=shard.failures,
+        )
+        if was_healthy:
+            # First sighting of this shard's death: preserve the events that
+            # led here before the ring rolls over.
+            self.flight.dump("shard_death")
 
     async def _connect_shard(self, session_id: str):
         """Open a connection on the session's shard, failing over as needed."""
@@ -257,6 +357,19 @@ class ShardRouter:
                 and self._active_sessions >= self.max_sessions
             ):
                 self.counters.rejected_sessions += 1
+                self.flight.record(
+                    "admission_rejected",
+                    session_id=message.get("session_id"),
+                    active_sessions=self._active_sessions,
+                    max_sessions=self.max_sessions,
+                )
+                log_event(
+                    _logger,
+                    "admission_rejected",
+                    session_id=message.get("session_id"),
+                    active_sessions=self._active_sessions,
+                    max_sessions=self.max_sessions,
+                )
                 await self._write(
                     writer,
                     {
@@ -276,6 +389,7 @@ class ShardRouter:
             session_id = str(message["session_id"])
             shard, shard_reader, shard_writer = await self._connect_shard(session_id)
             if shard is None:
+                self.flight.record("no_healthy_shards", session_id=session_id)
                 await self._write(
                     writer,
                     {"type": "error", "code": "no_healthy_shards",
@@ -300,8 +414,26 @@ class ShardRouter:
                 except ProtocolError as error:
                     await self._write(writer, {"type": "error", "message": str(error)})
                     continue
+                # Traced decide: add the router hop to the chain.  The span
+                # continues the client's context, and the frame forwarded to
+                # the shard carries *this* span as the parent — so the
+                # reconstructed trace reads client → router → shard.
+                span = None
+                if message["type"] == "decide" and message.get("trace"):
+                    span = self.spans.span(
+                        "router.forward",
+                        message["trace"],
+                        service="router",
+                        tags={"shard": shard.index, "session_id": session_id},
+                    )
+                    if span is not None:
+                        message["trace"] = span.context()
                 reply = await self._forward(shard, shard_writer, shard_reader,
                                             writer, message)
+                if span is not None:
+                    if reply is not None:
+                        span.set_tag("source", reply.get("source"))
+                    span.finish()
                 if reply is None or message["type"] == "bye":
                     return
         except (ConnectionError, OSError):
@@ -413,6 +545,138 @@ class ShardRouter:
         entry["num_sessions"] = reply.get("num_sessions")
         return entry
 
+    async def _shard_request(
+        self, shard: ShardState, payload: dict
+    ) -> Optional[dict]:
+        """One request/reply against a shard's data plane; None if unreachable.
+
+        Used by the control plane's fleet-wide metrics/trace/flight fan-out.
+        Unlike :meth:`_shard_stats` it does not demote the shard on failure —
+        an observability query should never change placement state.
+        """
+        if not shard.healthy:
+            return None
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(shard.host, shard.port),
+                timeout=self.probe_timeout,
+            )
+            try:
+                writer.write(encode_message(payload))
+                await writer.drain()
+                line = await asyncio.wait_for(
+                    reader.readline(), timeout=self.probe_timeout
+                )
+                return decode_frame(line) if line else None
+            finally:
+                try:
+                    writer.close()
+                except Exception:  # noqa: BLE001 - best-effort teardown
+                    pass
+        except (ConnectionError, OSError, ProtocolError, asyncio.TimeoutError):
+            return None
+
+    async def _metrics_payload(self, message: dict) -> dict:
+        """Fleet-wide ``metrics``: the router's registry plus every shard's.
+
+        JSON keeps the per-shard snapshots separate; Prometheus concatenates
+        them with a ``shard="N"`` label on every sample (and
+        ``service="router"`` on the router's own), so one scrape of the
+        control plane yields a standard multi-instance exposition.
+        """
+        format_name = str(message.get("format", "json"))
+        if format_name not in ("json", "prometheus"):
+            raise ProtocolError(f"unknown metrics format {format_name!r}")
+        replies = await asyncio.gather(
+            *(
+                self._shard_request(shard, {"type": "metrics", "format": "json"})
+                for shard in self.shards
+            )
+        )
+        shard_snapshots = [
+            (shard.index, reply.get("metrics", {}))
+            for shard, reply in zip(self.shards, replies)
+            if reply is not None and reply.get("type") == "metrics"
+        ]
+        if format_name == "prometheus":
+            parts = [
+                render_prometheus(
+                    self.metrics.snapshot(), extra_labels={"service": "router"}
+                )
+            ]
+            parts.extend(
+                render_prometheus(snapshot, extra_labels={"shard": str(index)})
+                for index, snapshot in shard_snapshots
+            )
+            return {
+                "type": "metrics",
+                "format": "prometheus",
+                "body": "".join(parts),
+            }
+        return {
+            "type": "metrics",
+            "format": "json",
+            "router": self.metrics.snapshot(),
+            "shards": [
+                {"index": index, "metrics": snapshot}
+                for index, snapshot in shard_snapshots
+            ],
+        }
+
+    async def _trace_payload(self, message: dict) -> dict:
+        """Fleet-wide ``trace``: one trace id's spans from every process.
+
+        Merges the router's own ``router.forward`` span(s) with whatever each
+        shard stored (``server.decide``, ``broker.*``, ``stage.*`` and any
+        client-reported spans) — the single-query end-to-end reconstruction
+        of one decision.
+        """
+        trace_id = message.get("trace_id")
+        if not trace_id:
+            raise ProtocolError("trace request needs a trace_id")
+        trace_id = str(trace_id)
+        replies = await asyncio.gather(
+            *(
+                self._shard_request(
+                    shard, {"type": "trace", "trace_id": trace_id}
+                )
+                for shard in self.shards
+            )
+        )
+        spans = self.spans.get(trace_id)
+        for reply in replies:
+            if reply is not None and reply.get("type") == "trace":
+                spans.extend(reply.get("spans", []))
+        spans.sort(key=lambda span: span.get("start_time", 0.0))
+        return {"type": "trace", "trace_id": trace_id, "spans": spans}
+
+    async def _flight_payload(self, message: dict) -> dict:
+        """Fleet-wide ``flight``: dump the router's ring and every shard's."""
+        reason = str(message.get("reason", "on_demand"))
+        replies = await asyncio.gather(
+            *(
+                self._shard_request(
+                    shard, {"type": "flight", "reason": reason}
+                )
+                for shard in self.shards
+            )
+        )
+        return {
+            "type": "flight",
+            "router": self.flight.dump(reason),
+            "shards": [
+                {
+                    "index": shard.index,
+                    "recorder": (
+                        reply.get("recorder")
+                        if reply is not None and reply.get("type") == "flight"
+                        else None
+                    ),
+                }
+                for shard, reply in zip(self.shards, replies)
+            ],
+        }
+
     def _health_payload(self, probes) -> dict:
         shards = []
         for shard, alive in zip(self.shards, probes):
@@ -455,6 +719,8 @@ class ShardRouter:
                 "shard with draining/healthy"
             )
         self.counters.reconfigurations += 1
+        self.flight.record("reconfigure", changed=changed)
+        log_event(_logger, "reconfigure", changed=changed)
         return {"type": "reconfigured", "changed": changed}
 
     async def _handle_control(
@@ -495,6 +761,16 @@ class ShardRouter:
                         await self._write(writer, payload)
                     elif kind == "reconfigure":
                         await self._write(writer, self._apply_reconfigure(message))
+                    elif kind == "metrics":
+                        await self._write(
+                            writer, await self._metrics_payload(message)
+                        )
+                    elif kind == "trace":
+                        await self._write(writer, await self._trace_payload(message))
+                    elif kind == "flight":
+                        await self._write(
+                            writer, await self._flight_payload(message)
+                        )
                     elif kind == "bye":
                         await self._write(writer, {"type": "goodbye"})
                         return

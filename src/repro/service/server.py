@@ -29,7 +29,8 @@ import threading
 import time
 from typing import Optional
 
-from ..core.agent import DecimaAgent
+from ..core.agent import DecimaAgent, StageTimings
+from ..obs import FlightRecorder, MetricsRegistry, SpanStore, get_logger, log_event
 from ..schedulers import make_scheduler, scheduler_names
 from ..simulator.environment import SimulatorConfig
 from .batcher import (
@@ -45,6 +46,24 @@ from .session import SessionState
 __all__ = ["PolicyServer", "ServerCore"]
 
 _QUEUE_SENTINEL = None
+
+_logger = get_logger("service.server")
+
+
+def _gauge_family(help: str, samples: list) -> dict:
+    return {"type": "gauge", "help": help, "samples": samples}
+
+
+def _counter_family(help: str, value: float) -> dict:
+    return {
+        "type": "counter",
+        "help": help,
+        "samples": [{"labels": {}, "value": float(value)}],
+    }
+
+
+def _gauge_value(help: str, value: float) -> dict:
+    return _gauge_family(help, [{"labels": {}, "value": float(value)}])
 
 
 class _PendingRequest:
@@ -83,6 +102,10 @@ class ServerCore:
         max_batch_size: int = 64,
         batch_window_ms: float = 2.0,
         adaptive_batch_window: bool = True,
+        service_name: str = "server",
+        flight_dir: Optional[str] = None,
+        flight_capacity: int = 512,
+        trace_capacity: int = 256,
     ):
         if fallback not in scheduler_names():
             known = ", ".join(scheduler_names())
@@ -107,6 +130,207 @@ class ServerCore:
         self.sessions: dict[str, SessionState] = {}
         self._sessions_lock = threading.Lock()
         self._session_counter = 0
+        # --- observability (see docs/OBSERVABILITY.md) ---------------------
+        # One registry, span store and flight recorder per server/shard.
+        # Everything here reads existing state lazily (collectors) or sits
+        # behind None checks on the hot path, so an unscraped, untraced
+        # server does the same work it did before telemetry existed.
+        self.service_name = str(service_name)
+        self.metrics = MetricsRegistry()
+        self.spans = SpanStore(max_traces=int(trace_capacity))
+        self.flight = FlightRecorder(
+            capacity=int(flight_capacity),
+            service=self.service_name,
+            dump_dir=flight_dir,
+        )
+        self.broker.flight = self.flight
+        self.broker.latency_metric = self.metrics.histogram(
+            "decision_latency_ms", "End-to-end broker decision latency"
+        )
+        self.metrics.register_collector(self._collect_metrics)
+        if breaker is not None:
+            breaker.on_open = self._on_breaker_open
+
+    # ------------------------------------------------------------ observability
+    def _collect_metrics(self) -> dict:
+        """Snapshot-time bridge from the legacy stat counters to the registry.
+
+        This is what absorbs the old ad-hoc ``stats()`` schemas: the broker,
+        breaker, window and :class:`StageTimings` keep their plain counters
+        (zero per-decision registry cost) and this collector translates them
+        into metric families only when someone scrapes.
+        """
+        broker = self.broker
+        timings = self.agent.stage_timings.snapshot()
+        fragment = {
+            "policy_version": _gauge_value(
+                "Monotonic id of the serving weights", broker.policy_version
+            ),
+            "sessions_open": _gauge_value(
+                "Currently connected cluster sessions", self.num_live_sessions()
+            ),
+            "decisions_total": _counter_family(
+                "Answered decisions (policy + fallback)", broker.num_decisions
+            ),
+            "fallback_decisions_total": _counter_family(
+                "Decisions answered by the fallback heuristic",
+                broker.num_fallback_decisions,
+            ),
+            "slo_breaches_total": _counter_family(
+                "Decisions over the latency SLO", broker.num_slo_breaches
+            ),
+            "policy_swaps_total": _counter_family(
+                "Hot-swapped policy installs applied", broker.num_policy_swaps
+            ),
+            "batches_total": _counter_family(
+                "Dispatched decision batches", broker.num_batches
+            ),
+            "max_batch_size": _gauge_value(
+                "Largest batch dispatched so far", broker.max_batch_size
+            ),
+            "graph_delta_refreshes_total": _counter_family(
+                "GraphCache row-level delta refreshes", broker.graph_delta_refreshes
+            ),
+            "graph_full_refreshes_total": _counter_family(
+                "GraphCache full feature refreshes", broker.graph_full_refreshes
+            ),
+            "graph_rebuilds_total": _counter_family(
+                "GraphCache structure rebuilds", broker.graph_rebuilds
+            ),
+            "merged_structure_rebuilds_total": _counter_family(
+                "Mega-graph merged-structure rebuilds",
+                broker.merge_cache.num_rebuilds,
+            ),
+            "stage_steps_total": _counter_family(
+                "act()/act_batch() calls timed by the stage clock",
+                timings["num_steps"],
+            ),
+            "stage_mean_ms": _gauge_family(
+                "Per-step mean wall time of each hot-path stage",
+                [
+                    {
+                        "labels": {"stage": stage},
+                        "value": timings["stages"][stage]["mean_ms"],
+                    }
+                    for stage in StageTimings.STAGES
+                ],
+            ),
+            "flight_events_total": _counter_family(
+                "Events appended to the flight recorder", self.flight.num_events
+            ),
+            "flight_dumps_total": _counter_family(
+                "Flight-recorder dumps taken", self.flight.num_dumps
+            ),
+            "trace_spans_total": _counter_family(
+                "Spans filed in the span store", self.spans.num_spans
+            ),
+        }
+        if broker.breaker is not None:
+            breaker = broker.breaker
+            fragment["breaker_open"] = _gauge_value(
+                "1 while the SLO circuit-breaker is open",
+                1.0 if breaker.state == "open" else 0.0,
+            )
+            fragment["breaker_opens_total"] = _counter_family(
+                "Circuit-breaker trips", breaker.num_opens
+            )
+        if self.adaptive_window is not None:
+            window = self.adaptive_window
+            fragment["batch_window_ms"] = _gauge_value(
+                "Current adaptive coalescing window", window.seconds() * 1000.0
+            )
+            fragment["batch_ema_size"] = _gauge_value(
+                "EMA of dispatched batch sizes", window.ema_batch_size
+            )
+        return fragment
+
+    def _on_breaker_open(self, breaker: CircuitBreaker) -> None:
+        """SLO trip: record it, dump the flight ring, log the event."""
+        self.flight.record(
+            "breaker_open",
+            num_opens=breaker.num_opens,
+            slo_ms=breaker.slo_seconds * 1000.0,
+            policy_version=self.broker.policy_version,
+        )
+        self.flight.dump("slo_breaker_open")
+        log_event(
+            _logger,
+            "breaker_open",
+            service=self.service_name,
+            num_opens=breaker.num_opens,
+            slo_ms=breaker.slo_seconds * 1000.0,
+        )
+
+    def metrics_payload(self, message: dict) -> dict:
+        """Handle a ``metrics`` request (data plane and control plane alike)."""
+        format_name = str(message.get("format", "json"))
+        if format_name == "prometheus":
+            return {
+                "type": "metrics",
+                "format": "prometheus",
+                "body": self.metrics.prometheus(),
+            }
+        if format_name != "json":
+            raise ProtocolError(f"unknown metrics format {format_name!r}")
+        return {
+            "type": "metrics",
+            "format": "json",
+            "service": self.service_name,
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def trace_payload(self, message: dict) -> dict:
+        """Handle a ``trace`` request: every stored span of one trace id."""
+        trace_id = message.get("trace_id")
+        if not trace_id:
+            raise ProtocolError("trace request needs a trace_id")
+        spans = self.spans.get(str(trace_id))
+        spans.sort(key=lambda span: span.get("start_time", 0.0))
+        return {
+            "type": "trace",
+            "trace_id": str(trace_id),
+            "service": self.service_name,
+            "spans": spans,
+        }
+
+    def record_spans(self, message: dict) -> dict:
+        """Handle a ``trace_report``: a client files its own finished spans.
+
+        This is how the client half of a traced decision lands in the same
+        store as the server half — the loadgen reports its ``client.decide``
+        span here after each traced reply.
+        """
+        spans = message.get("spans", [])
+        if not isinstance(spans, list):
+            raise ProtocolError("trace_report spans must be a list")
+        self.spans.extend(span for span in spans if isinstance(span, dict))
+        return {"type": "trace_reported", "count": len(spans)}
+
+    def flight_payload(self, message: dict) -> dict:
+        """Handle a ``flight`` request: dump (default) or peek at the ring."""
+        if message.get("dump", True):
+            recorder = self.flight.dump(str(message.get("reason", "on_demand")))
+        else:
+            recorder = {
+                "service": self.service_name,
+                "events": self.flight.events(),
+            }
+        return {
+            "type": "flight",
+            "service": self.service_name,
+            "recorder": recorder,
+            "stats": self.flight.stats(),
+        }
+
+    def finish_request(
+        self, request: DecisionRequest, result: DecisionResult
+    ) -> None:
+        """Close a traced request's ``server.decide`` span (no-op untraced)."""
+        span = request.span
+        if span is not None:
+            span.set_tag("source", result.source)
+            span.set_tag("policy_version", result.policy_version)
+            span.finish()
 
     # ---------------------------------------------------------------- hot-swap
     def install_policy(self, state: dict, version: int) -> None:
@@ -167,6 +391,17 @@ class ServerCore:
             if session_id in self.sessions:
                 raise ProtocolError(f"session id {session_id!r} is already connected")
             self.sessions[session_id] = session
+        self.flight.record(
+            "session_open", session_id=session_id, num_executors=num_executors
+        )
+        log_event(
+            _logger,
+            "session_open",
+            service=self.service_name,
+            session_id=session_id,
+            num_executors=num_executors,
+            fallback=fallback_name,
+        )
         # Version negotiation: a hello without "protocol" is a v1 client.
         client_protocol = int(message.get("protocol", 1))
         welcome = {
@@ -191,6 +426,19 @@ class ServerCore:
         # references to the dead session's structures (and through
         # them its shadow DAGs) until the next multi-session batch.
         self.broker.merge_cache.reset()
+        self.flight.record(
+            "session_close",
+            session_id=session.session_id,
+            num_decisions=session.num_decisions,
+        )
+        log_event(
+            _logger,
+            "session_close",
+            service=self.service_name,
+            session_id=session.session_id,
+            num_decisions=session.num_decisions,
+            num_fallback_decisions=session.num_fallback_decisions,
+        )
 
     def build_request(
         self, session: Optional[SessionState], message: dict
@@ -198,11 +446,23 @@ class ServerCore:
         if session is None:
             raise ProtocolError("decide before hello — open a session first")
         observation = session.observation_from_snapshot(message["observation"])
-        return DecisionRequest(
+        request = DecisionRequest(
             session=session,
             observation=observation,
             request_id=message.get("request_id"),
         )
+        # A traced decide carries {"trace": {"trace_id", "span_id"}} (v3
+        # protocol, optional): open this hop's span under the caller's.  The
+        # untraced hot path pays one dict lookup.
+        trace = message.get("trace")
+        if trace:
+            request.span = self.spans.span(
+                "server.decide",
+                trace,
+                service=self.service_name,
+                tags={"session_id": session.session_id},
+            )
+        return request
 
     @staticmethod
     def action_reply(
@@ -357,6 +617,14 @@ class PolicyServer(ServerCore):
                         self._handle_decide(stream, session, message)
                     elif kind == "stats":
                         write_message(stream, self.stats_payload(session))
+                    elif kind == "metrics":
+                        write_message(stream, self.metrics_payload(message))
+                    elif kind == "trace":
+                        write_message(stream, self.trace_payload(message))
+                    elif kind == "trace_report":
+                        write_message(stream, self.record_spans(message))
+                    elif kind == "flight":
+                        write_message(stream, self.flight_payload(message))
                     elif kind == "bye":
                         write_message(stream, {"type": "goodbye"})
                         return
@@ -419,6 +687,7 @@ class PolicyServer(ServerCore):
             return
         result = pending.result
         assert result is not None
+        self.finish_request(pending.request, result)
         write_message(stream, self.action_reply(session, message, result))
 
     # --------------------------------------------------------------- dispatch
